@@ -1,0 +1,101 @@
+// Ablation bench for the design choices called out in DESIGN.md §5:
+//   1. qShort term on/off (the instant channel-stall signal)
+//   2. Eq. 1 burst adjustment on/off
+//   3. distributional delta sampling vs per-ACK accumulation (§5.2)
+//   4. delay tokens on/off
+//   5. retreatable holds on/off (good news travels fast)
+//   6. Fortune Teller window length sweep (transience-equilibrium nexus)
+// Each variant runs the W1 trace (RTP for 1-2, TCP for 3-5) plus the
+// k=10 bandwidth-drop microbenchmark.
+
+#include "bench_util.hpp"
+
+using namespace zhuge;
+using namespace zhuge::bench;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  Protocol protocol;
+  std::function<void(app::ScenarioConfig&)> tweak;
+};
+
+void run_table(const std::vector<Variant>& variants) {
+  std::printf("  %-28s %12s %12s | %12s\n", "variant", "W1 RTT>200", "W1 fd>400",
+              "drop k=10 (s)");
+  for (const auto& v : variants) {
+    // Trace-driven W1.
+    const auto metrics = averaged_tails(
+        [&](int s) {
+          const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi,
+                                            13u * static_cast<unsigned>(s),
+                                            Duration::seconds(150));
+          auto cfg = trace_config(tr, trace::TraceKind::kRestaurantWifi,
+                                  Duration::seconds(150),
+                                  static_cast<std::uint64_t>(s));
+          cfg.protocol = v.protocol;
+          cfg.ap.mode = ApMode::kZhuge;
+          v.tweak(cfg);
+          return app::run_scenario(cfg);
+        },
+        3);
+    // Bandwidth-drop microbenchmark.
+    const Duration drop_at = Duration::seconds(20);
+    const Duration dur = Duration::seconds(40);
+    const auto tr = trace::step_trace(30e6, 3e6, drop_at, dur);
+    auto cfg = drop_config(tr, 3);
+    cfg.protocol = v.protocol;
+    cfg.ap.mode = ApMode::kZhuge;
+    v.tweak(cfg);
+    const auto deg = degradation_after(app::run_scenario(cfg), drop_at, dur);
+
+    std::printf("  %-28s %11.3f%% %11.3f%% | %12.2f\n", v.label.c_str(),
+                100.0 * metrics.rtt_gt_200, 100.0 * metrics.fd_gt_400,
+                deg.rtt_secs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations of Zhuge's design choices ===\n");
+
+  std::printf("\n--- Fortune Teller (RTP/GCC path) ---\n");
+  run_table({
+      {"full Zhuge", Protocol::kRtp, [](app::ScenarioConfig&) {}},
+      {"no qShort", Protocol::kRtp,
+       [](app::ScenarioConfig& c) { c.ap.zhuge.fortune.use_qshort = false; }},
+      {"no burst adjustment (Eq.1)", Protocol::kRtp,
+       [](app::ScenarioConfig& c) { c.ap.zhuge.fortune.burst_adjustment = false; }},
+      {"window 10 ms (too short)", Protocol::kRtp,
+       [](app::ScenarioConfig& c) {
+         c.ap.zhuge.fortune.window = Duration::millis(10);
+       }},
+      {"window 200 ms (too long)", Protocol::kRtp,
+       [](app::ScenarioConfig& c) {
+         c.ap.zhuge.fortune.window = Duration::millis(200);
+       }},
+  });
+
+  std::printf("\n--- Feedback Updater (TCP/Copa path) ---\n");
+  run_table({
+      {"full Zhuge", Protocol::kTcp, [](app::ScenarioConfig&) {}},
+      {"accumulate deltas (no dist.)", Protocol::kTcp,
+       [](app::ScenarioConfig& c) {
+         c.ap.zhuge.oob.distributional_sampling = false;
+       }},
+      {"no delay tokens", Protocol::kTcp,
+       [](app::ScenarioConfig& c) { c.ap.zhuge.oob.use_tokens = false; }},
+      {"no retreat of pending holds", Protocol::kTcp,
+       [](app::ScenarioConfig& c) { c.ap.zhuge.oob.retreat_pending = false; }},
+      {"raw Algorithm 1 (no smooth)", Protocol::kTcp,
+       [](app::ScenarioConfig& c) {
+         c.ap.zhuge.oob.delta_smoothing_alpha = 1.0;
+       }},
+  });
+
+  std::printf("\n(lower is better everywhere; 'full Zhuge' should be at or near\n"
+              " the best value in each column)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 15 reproduction: TCP degradation durations after a bandwidth drop
+// of factor k for Copa, Copa+FastAck, ABC, and Copa+Zhuge. The paper's
+// shape: Zhuge wins for k < 15-30; at extreme k the durations are bounded
+// by RTO recovery and ABC's explicit signalling can win.
+
+#include "bench_util.hpp"
+
+using namespace zhuge;
+using namespace zhuge::bench;
+
+int main() {
+  std::printf("=== Fig. 15: TCP degradation durations after ABW drop ===\n");
+  const Duration drop_at = Duration::seconds(20);
+  const Duration dur = Duration::seconds(40);
+  const std::vector<double> ks = {2, 5, 10, 20, 50};
+
+  struct Mode {
+    const char* label;
+    ApMode ap;
+    TcpCcaKind cca;
+  };
+  const std::vector<Mode> modes = {
+      {"Copa", ApMode::kNone, TcpCcaKind::kCopa},
+      {"Copa+FastAck", ApMode::kFastAck, TcpCcaKind::kCopa},
+      {"ABC", ApMode::kAbc, TcpCcaKind::kAbc},
+      {"Copa+Zhuge", ApMode::kZhuge, TcpCcaKind::kCopa},
+  };
+
+  std::vector<std::vector<Degradation>> table;
+  for (const auto& m : modes) {
+    std::vector<Degradation> row;
+    for (double k : ks) {
+      Degradation acc;
+      const int seeds = 3;
+      for (int s = 1; s <= seeds; ++s) {
+        const auto tr = trace::step_trace(30e6, 30e6 / k, drop_at, dur);
+        auto cfg = drop_config(tr, static_cast<std::uint64_t>(s));
+        cfg.protocol = Protocol::kTcp;
+        cfg.tcp_cca = m.cca;
+        cfg.ap.mode = m.ap;
+        const auto d = degradation_after(app::run_scenario(cfg), drop_at, dur);
+        acc.rtt_secs += d.rtt_secs / seeds;
+        acc.fd_secs += d.fd_secs / seeds;
+        acc.fps_secs += d.fps_secs / seeds;
+      }
+      row.push_back(acc);
+    }
+    table.push_back(row);
+  }
+
+  const char* headings[3] = {"(a) NetworkRtt > 200 ms, seconds",
+                             "(b) FrameDelay > 400 ms, seconds",
+                             "(c) FrameRate < 10 fps, seconds"};
+  for (int metric = 0; metric < 3; ++metric) {
+    std::printf("\n%s\n  %-14s", headings[metric], "mode \\ k");
+    for (double k : ks) std::printf(" %7.0fx", k);
+    std::printf("\n");
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+      std::printf("  %-14s", modes[mi].label);
+      for (const auto& d : table[mi]) {
+        const double v = metric == 0 ? d.rtt_secs : metric == 1 ? d.fd_secs : d.fps_secs;
+        std::printf(" %8.2f", v);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(paper: Copa+Zhuge cuts RTT degradation 14-64%% for k < 30; at\n"
+              " k >= 30 the durations are RTO-bound and ABC can do better)\n");
+  return 0;
+}

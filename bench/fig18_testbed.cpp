@@ -1,0 +1,77 @@
+// Fig. 18 reproduction: the paper's OpenWrt-testbed scenarios, rebuilt on
+// the simulated AP (substitution documented in DESIGN.md):
+//   scp — a bulk transfer toggling on/off every 30 s alongside the RTC flow
+//   mcs — the link-layer modulation-coding scheme re-rolled every 30 s
+//   raw — the plain fluctuating office channel
+// Reported: tail ratios (network RTT, frame delay) and steady-state
+// bitrate, with and without Zhuge.
+
+#include "bench_util.hpp"
+
+using namespace zhuge;
+using namespace zhuge::bench;
+
+namespace {
+
+app::ScenarioResult run_case(const char* scenario, ApMode mode, std::uint64_t seed,
+                             const trace::Trace* office) {
+  app::ScenarioConfig cfg;
+  cfg.duration = Duration::seconds(240);
+  cfg.warmup = Duration::seconds(5);
+  cfg.seed = seed;
+  cfg.protocol = Protocol::kRtp;
+  cfg.ap.mode = mode;
+  if (std::string(scenario) == "scp") {
+    cfg.channel_trace = nullptr;
+    cfg.mcs_index = 4;  // 39 Mbps
+    cfg.scp_periodic_competitor = true;
+  } else if (std::string(scenario) == "mcs") {
+    cfg.channel_trace = nullptr;
+    cfg.mcs_index = 5;
+    cfg.mcs_random_switch = true;
+    // At 2 Mbps even MCS0 (6.5 Mbps) never congests; stream a richer
+    // video so the MCS drops actually bite, as they do on the paper's
+    // testbed where the channel carries background office traffic too.
+    cfg.video.max_bitrate_bps = 12e6;
+  } else {  // raw: crowded-office channel
+    cfg.channel_trace = office;
+  }
+  return app::run_scenario(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 18: testbed-style scenarios (scp / mcs / raw) ===\n");
+  const auto office = trace::make_trace(trace::TraceKind::kOfficeWifi, 31,
+                                        Duration::seconds(240));
+
+  std::printf("\n  %-9s %-7s %14s %14s %12s\n", "scenario", "mode", "RTT>200ms",
+              "Frame>400ms", "bitrate(Mbps)");
+  for (const char* scenario : {"scp", "mcs", "raw"}) {
+    TailMetrics base;
+    TailMetrics zhuge_m;
+    for (int pass = 0; pass < 2; ++pass) {
+      const ApMode mode = pass == 0 ? ApMode::kNone : ApMode::kZhuge;
+      const auto m = tail_metrics(run_case(scenario, mode, 9, &office));
+      (pass == 0 ? base : zhuge_m) = m;
+      std::printf("  %-9s %-7s %13.3f%% %13.3f%% %12.2f\n", scenario,
+                  mode_name(mode), 100.0 * m.rtt_gt_200, 100.0 * m.fd_gt_400,
+                  m.goodput_mbps);
+    }
+    const auto impr = [](double a, double b) {
+      return a > 0 ? 100.0 * (a - b) / a : 0.0;
+    };
+    std::printf("  %-9s improvement: RTT tail %.0f%%, frame tail %.0f%%, "
+                "bitrate delta %+.1f%%\n",
+                scenario, impr(base.rtt_gt_200, zhuge_m.rtt_gt_200),
+                impr(base.fd_gt_400, zhuge_m.fd_gt_400),
+                base.goodput_mbps > 0
+                    ? 100.0 * (zhuge_m.goodput_mbps - base.goodput_mbps) /
+                          base.goodput_mbps
+                    : 0.0);
+  }
+  std::printf("\n(paper: 17-95%% RTT-tail and 9-67%% frame-tail improvement across\n"
+              " scenarios, with the steady-state bitrate unchanged)\n");
+  return 0;
+}

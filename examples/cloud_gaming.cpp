@@ -1,0 +1,68 @@
+// Example: a cloud-gaming stream (TCP + Copa) on a fluctuating 5G link.
+//
+// Cloud gaming demands a ~96 ms end-to-end budget (Kämäräinen et al.,
+// cited in the paper's intro). We stream over a City-5G-like channel with
+// mmWave blockage fades and compare the AP modes: plain, FastAck
+// (IMC '17), ABC (NSDI '20, needs host changes), and Zhuge.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/cloud_gaming
+
+#include <cstdio>
+
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace zhuge;
+
+namespace {
+
+app::ScenarioResult run(const trace::Trace& tr, app::ApMode mode,
+                        app::TcpCcaKind cca) {
+  app::ScenarioConfig cfg;
+  cfg.protocol = app::Protocol::kTcp;
+  cfg.tcp_cca = cca;
+  cfg.ap.mode = mode;
+  cfg.ap.link = app::LinkKind::kCellular;
+  cfg.channel_trace = &tr;
+  cfg.video.fps = 60;                  // gaming stream
+  cfg.video.max_bitrate_bps = 8e6;
+  cfg.video.start_bitrate_bps = 3e6;
+  cfg.wan_one_way = sim::Duration::millis(10);  // nearby edge server
+  cfg.duration = sim::Duration::seconds(180);
+  cfg.seed = 99;
+  return app::run_scenario(cfg);
+}
+
+void report(const char* label, const app::ScenarioResult& r) {
+  const auto& f = r.primary();
+  // 96 ms budget minus ~2 frame-times of encode/decode ~= 60 ms transport.
+  const double budget_ms = 96.0;
+  std::printf("  %-12s frame>budget %6.3f%% | P99 frame %6.1f ms | "
+              "fps<30 %6.3f%% | stream %4.2f Mbps\n",
+              label, 100.0 * f.frame_delay_ms.ratio_above(budget_ms),
+              f.frame_delay_ms.quantile(0.99),
+              100.0 * f.frame_rate_fps.ratio_below(30.0), f.goodput_bps / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cloud gaming over a City-5G-like link (60 fps, Copa over TCP)\n");
+  std::printf("(the paper's intro: cloud gaming demands <96 ms; 5G mmWave fades\n"
+              " are exactly the tail events Zhuge targets)\n\n");
+  const auto tr = trace::make_trace(trace::TraceKind::kCity5G, 12,
+                                    sim::Duration::seconds(180));
+
+  report("plain AP", run(tr, app::ApMode::kNone, app::TcpCcaKind::kCopa));
+  report("FastAck AP", run(tr, app::ApMode::kFastAck, app::TcpCcaKind::kCopa));
+  report("ABC", run(tr, app::ApMode::kAbc, app::TcpCcaKind::kAbc));
+  report("Zhuge AP", run(tr, app::ApMode::kZhuge, app::TcpCcaKind::kCopa));
+
+  std::printf("\nZhuge delays Copa's ACKs at the AP by the predicted queueing\n"
+              "deltas, so the sender backs off before a blockage fade strands a\n"
+              "whole flight of frames — without touching the game server (unlike\n"
+              "ABC, which needs a new sender CCA and receiver echo support).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Example: working with bandwidth traces directly.
+//
+// Generates each synthetic trace class, prints its fluctuation profile
+// (the Fig. 3(b) statistic), exports one to CSV, reloads it, and runs a
+// quick scenario on the reloaded copy — the workflow for plugging in your
+// own measured traces.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/trace_explorer
+
+#include <cstdio>
+#include <filesystem>
+
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace zhuge;
+
+int main() {
+  const auto dur = sim::Duration::seconds(300);
+
+  std::printf("synthetic trace classes and their ABW-fluctuation profiles:\n");
+  std::printf("  %-28s %10s %10s %12s\n", "trace", "mean Mbps", "min Mbps",
+              "P[drop>10x]");
+  for (const auto kind :
+       {trace::TraceKind::kRestaurantWifi, trace::TraceKind::kOfficeWifi,
+        trace::TraceKind::kIndoorMixed45G, trace::TraceKind::kCity4G,
+        trace::TraceKind::kCity5G, trace::TraceKind::kEthernet}) {
+    const auto tr = trace::make_trace(kind, 1, dur);
+    double min_rate = tr.samples().front().rate_bps;
+    for (const auto& s : tr.samples()) min_rate = std::min(min_rate, s.rate_bps);
+    const auto stats = trace::abw_reduction_stats(tr);
+    std::printf("  %-28s %10.1f %10.2f %11.2f%%\n", trace::long_name(kind),
+                tr.mean_rate_bps() / 1e6, min_rate / 1e6,
+                100.0 * stats.fraction_above(10.0));
+  }
+
+  // Export + reload round trip (use this format for your own traces:
+  // "time_ms,rate_mbps" per line).
+  const std::string path = "/tmp/zhuge_example_trace.csv";
+  const auto original = trace::make_trace(trace::TraceKind::kRestaurantWifi, 1, dur);
+  trace::save_csv(original, path);
+  const auto reloaded = trace::load_csv(path, "my-trace");
+  std::printf("\nexported %zu samples to %s and reloaded them\n",
+              original.samples().size(), path.c_str());
+
+  // Drive a scenario with the reloaded trace.
+  app::ScenarioConfig cfg;
+  cfg.channel_trace = &reloaded;
+  cfg.ap.mode = app::ApMode::kZhuge;
+  cfg.duration = sim::Duration::seconds(60);
+  cfg.seed = 1;
+  const auto r = app::run_scenario(cfg);
+  std::printf("60 s GCC/RTP run on the reloaded trace with Zhuge: "
+              "P99 RTT %.1f ms, %llu frames decoded\n",
+              r.primary().network_rtt_ms.quantile(0.99),
+              static_cast<unsigned long long>(r.primary().frames_decoded));
+  std::filesystem::remove(path);
+  return 0;
+}

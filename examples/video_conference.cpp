@@ -1,0 +1,59 @@
+// Example: a video-conference call (RTP/RTCP + GCC) on a busy home WiFi.
+//
+// Someone starts a large file transfer (scp-style bulk TCP) on the same
+// access point every 30 seconds. We run the call three ways — plain FIFO
+// AP, CoDel AP, and a Zhuge AP — and report what the viewer experiences.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/video_conference
+
+#include <cstdio>
+
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace zhuge;
+
+namespace {
+
+app::ScenarioResult run(app::ApMode mode, app::QdiscKind qdisc) {
+  app::ScenarioConfig cfg;
+  cfg.protocol = app::Protocol::kRtp;   // WebRTC-style media + TWCC feedback
+  cfg.ap.mode = mode;
+  cfg.ap.qdisc = qdisc;
+  cfg.mcs_index = 4;                    // 39 Mbps PHY, shared with the bulk flow
+  cfg.scp_periodic_competitor = true;   // file transfer toggles every 30 s
+  cfg.video.fps = 24;
+  cfg.video.max_bitrate_bps = 2.5e6;    // 1080p conference stream
+  cfg.duration = sim::Duration::seconds(180);
+  cfg.seed = 2024;
+  return app::run_scenario(cfg);
+}
+
+void report(const char* label, const app::ScenarioResult& r) {
+  const auto& f = r.primary();
+  std::printf("  %-12s P50 RTT %5.1f ms | P99 RTT %6.1f ms | RTT>200ms %6.3f%% | "
+              "frame>400ms %6.3f%% | %4llu/%llu frames\n",
+              label, f.network_rtt_ms.quantile(0.5), f.network_rtt_ms.quantile(0.99),
+              100.0 * f.network_rtt_ms.ratio_above(200.0),
+              100.0 * f.frame_delay_ms.ratio_above(400.0),
+              static_cast<unsigned long long>(f.frames_decoded),
+              static_cast<unsigned long long>(f.frames_sent));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("video conference on home WiFi with a periodic file transfer\n");
+  std::printf("(GCC over RTP/RTCP; the transfer toggles every 30 s for 3 min)\n\n");
+
+  report("FIFO AP", run(app::ApMode::kNone, app::QdiscKind::kFifo));
+  report("CoDel AP", run(app::ApMode::kNone, app::QdiscKind::kCoDel));
+  report("Zhuge AP", run(app::ApMode::kZhuge, app::QdiscKind::kFifo));
+
+  std::printf("\nZhuge's Feedback Updater builds the TWCC reports at the AP from\n"
+              "predicted per-packet delays, so GCC learns about the transfer's\n"
+              "queue before delayed frames ever reach the viewer.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "app/access_point.hpp"
+
+namespace zhuge::app {
+
+namespace {
+
+std::unique_ptr<queue::Qdisc> make_qdisc(QdiscKind kind, std::int64_t limit) {
+  switch (kind) {
+    case QdiscKind::kFifo:
+      return std::make_unique<queue::DropTailFifo>(limit);
+    case QdiscKind::kCoDel: {
+      queue::CoDelConfig cfg;
+      cfg.limit_bytes = limit;
+      return std::make_unique<queue::CoDel>(cfg);
+    }
+    case QdiscKind::kFqCoDel: {
+      queue::FqCoDel::Config cfg;
+      cfg.codel.limit_bytes = limit;
+      cfg.total_limit_bytes = limit;
+      return std::make_unique<queue::FqCoDel>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+AccessPoint::AccessPoint(sim::Simulator& simulator, sim::Rng& rng,
+                         wireless::Channel& channel, wireless::Medium& medium,
+                         Config cfg, PacketHandler to_client,
+                         PacketHandler to_server)
+    : sim_(simulator),
+      rng_(rng),
+      cfg_(cfg),
+      to_server_(std::move(to_server)),
+      qdisc_(make_qdisc(cfg.qdisc, cfg.queue_limit_bytes)),
+      abc_dequeue_rate_(Duration::millis(200)) {
+  if (cfg_.link == LinkKind::kWifi) {
+    wifi_link_ = std::make_unique<wireless::WifiLink>(
+        sim_, rng_, channel, medium, *qdisc_, cfg_.wifi, std::move(to_client));
+    wifi_link_->set_dequeue_observer(
+        [this](const Packet& p, TimePoint now) { on_qdisc_dequeue(p, now); });
+    wifi_link_->set_delivery_observer([this](const Packet& p, TimePoint now) {
+      on_wireless_delivered(p, now);
+    });
+  } else {
+    cellular_link_ = std::make_unique<wireless::CellularLink>(
+        sim_, rng_, channel, *qdisc_, cfg_.cellular, std::move(to_client));
+    cellular_link_->set_dequeue_observer(
+        [this](const Packet& p, TimePoint now) { on_qdisc_dequeue(p, now); });
+    cellular_link_->set_delivery_observer([this](const Packet& p, TimePoint now) {
+      on_wireless_delivered(p, now);
+    });
+  }
+  if (cfg_.mode == ApMode::kAbc) {
+    abc_router_ = std::make_unique<baseline::AbcRouter>(cfg_.abc);
+  }
+}
+
+void AccessPoint::register_rtc_flow(const net::FlowId& flow) {
+  rtc_flows_.insert(flow);
+  if (cfg_.mode == ApMode::kZhuge) {
+    zhuge_flows_.emplace(
+        flow, std::make_unique<core::ZhugeFlow>(
+                  sim_, rng_, flow, cfg_.zhuge,
+                  [this](Packet p) { to_server_(std::move(p)); }));
+  } else if (cfg_.mode == ApMode::kFastAck) {
+    fastack_flows_.emplace(flow,
+                           std::make_unique<baseline::FastAck>(cfg_.fastack));
+  }
+}
+
+core::ZhugeFlow* AccessPoint::zhuge_flow(const net::FlowId& flow) {
+  const auto it = zhuge_flows_.find(flow);
+  return it == zhuge_flows_.end() ? nullptr : it->second.get();
+}
+
+Duration AccessPoint::instantaneous_queue_delay(TimePoint now) const {
+  const double rate = const_cast<stats::WindowedRate&>(abc_dequeue_rate_)
+                          .rate_bps(now)
+                          .value_or(10e6);
+  return Duration::from_seconds(static_cast<double>(qdisc_->byte_count()) * 8.0 /
+                                std::max(rate, 1e3));
+}
+
+void AccessPoint::from_wan(Packet p) {
+  const TimePoint now = sim_.now();
+  if (abc_router_ != nullptr && p.is_tcp() && !p.tcp().is_ack) {
+    p.tcp().abc_mark =
+        abc_router_->mark(p.size_bytes, instantaneous_queue_delay(now), now);
+  }
+  core::ZhugeFlow* zf = zhuge_flow(p.flow);
+  Duration predicted = Duration::zero();
+  const bool is_rtp = p.is_rtp();
+  net::RtpHeader rtp_copy;
+  if (zf != nullptr) {
+    predicted = zf->predict_downlink(p, *qdisc_);
+    if (is_rtp) rtp_copy = p.rtp();
+  }
+  const bool accepted = wifi_link_ != nullptr
+                            ? wifi_link_->offer(std::move(p))
+                            : cellular_link_->offer(std::move(p));
+  // Tail-dropped packets are never reported as received: the AP witnesses
+  // the drop, so the loss stays visible to the sender.
+  if (zf != nullptr && accepted) {
+    zf->commit_downlink(is_rtp, is_rtp ? &rtp_copy : nullptr, predicted);
+  }
+}
+
+void AccessPoint::on_qdisc_dequeue(const Packet& p, TimePoint now) {
+  abc_dequeue_rate_.record(now, p.size_bytes);
+  if (cfg_.qdisc == QdiscKind::kFqCoDel) {
+    // Per-flow sub-queues: each Fortune Teller observes only its own
+    // flow's departures (§4's "calculation with queue disciplines").
+    if (auto* zf = zhuge_flow(p.flow); zf != nullptr) {
+      zf->on_dequeue(p, now, qdisc_->byte_count_flow(p.flow) == 0);
+    }
+    return;
+  }
+  // Shared FIFO/CoDel queue: a packet's qLong is the *whole* queue drained
+  // at the *total* dequeue rate, so every registered teller must see every
+  // departure — feeding each teller only its own flow's departures would
+  // overestimate delays in competition (whole-queue bytes divided by a
+  // single flow's share of the rate).
+  const bool empty_after = qdisc_->byte_count() == 0;
+  for (auto& [flow, zf] : zhuge_flows_) {
+    zf->on_dequeue(p, now, empty_after);
+  }
+}
+
+void AccessPoint::on_wireless_delivered(const Packet& p, TimePoint now) {
+  const auto it = fastack_flows_.find(p.flow);
+  if (it == fastack_flows_.end()) return;
+  if (auto ack = it->second->on_wireless_delivered(p, now, p.uid ^ (1ULL << 63));
+      ack.has_value()) {
+    to_server_(std::move(*ack));
+  }
+}
+
+void AccessPoint::from_client(Packet p) {
+  // FastAck: suppress the client's own pure ACKs for optimised flows.
+  if (cfg_.mode == ApMode::kFastAck &&
+      fastack_flows_.count(p.flow.reversed()) > 0 &&
+      baseline::FastAck::should_drop_uplink(p)) {
+    ++uplink_dropped_;
+    return;
+  }
+  // Zhuge: the uplink handling for the reverse flow (drop a client TWCC,
+  // hold an out-of-band ACK on the retreatable release queue, or pass).
+  if (auto* zf = zhuge_flow(p.flow.reversed()); zf != nullptr) {
+    switch (zf->handle_uplink(std::move(p))) {
+      case core::UplinkAction::kDrop: ++uplink_dropped_; break;
+      case core::UplinkAction::kDelay: ++uplink_delayed_; break;
+      case core::UplinkAction::kForward: break;
+    }
+    return;
+  }
+  to_server_(std::move(p));
+}
+
+}  // namespace zhuge::app

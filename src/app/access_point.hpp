@@ -1,0 +1,108 @@
+#pragma once
+// The last-mile access point: downlink qdisc + wireless link + optional
+// in-AP optimisation (Zhuge, FastAck, or the ABC router). This is the only
+// box the paper modifies — everything else (server, client) runs stock.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baseline/abc_router.hpp"
+#include "baseline/fastack.hpp"
+#include "core/zhuge.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "queue/codel.hpp"
+#include "queue/fifo.hpp"
+#include "queue/fq_codel.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "wireless/cellular_link.hpp"
+#include "wireless/channel.hpp"
+#include "wireless/medium.hpp"
+#include "wireless/wifi_link.hpp"
+
+namespace zhuge::app {
+
+using net::Packet;
+using net::PacketHandler;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Which optimisation runs on the AP.
+enum class ApMode : std::uint8_t { kNone, kZhuge, kFastAck, kAbc };
+
+/// Downlink queue discipline.
+enum class QdiscKind : std::uint8_t { kFifo, kCoDel, kFqCoDel };
+
+/// Last-hop technology.
+enum class LinkKind : std::uint8_t { kWifi, kCellular };
+
+/// A wireless access point with a pluggable downlink qdisc, a wireless
+/// last hop, and an optional AP-side optimisation module.
+class AccessPoint {
+ public:
+  struct Config {
+    ApMode mode = ApMode::kNone;
+    QdiscKind qdisc = QdiscKind::kFifo;
+    LinkKind link = LinkKind::kWifi;
+    std::int64_t queue_limit_bytes = 300 * 1500;  ///< FIFO bufferbloat depth
+    wireless::WifiLink::Config wifi{};
+    wireless::CellularLink::Config cellular{};
+    core::ZhugeConfig zhuge{};
+    baseline::AbcRouter::Config abc{};
+    baseline::FastAck::Config fastack{};
+  };
+
+  /// `to_client` receives packets that crossed the wireless downlink;
+  /// `to_server` is the AP's wired uplink towards the WAN.
+  AccessPoint(sim::Simulator& simulator, sim::Rng& rng,
+              wireless::Channel& channel, wireless::Medium& medium, Config cfg,
+              PacketHandler to_client, PacketHandler to_server);
+
+  /// Downlink entry: a packet arrives from the WAN (Ethernet port).
+  void from_wan(Packet p);
+
+  /// Uplink entry: a packet arrives from the client over wireless.
+  void from_client(Packet p);
+
+  /// Mark a flow (server->client direction) as an RTC flow to optimise —
+  /// the paper's configurable IP list (§7.1).
+  void register_rtc_flow(const net::FlowId& flow);
+
+  [[nodiscard]] queue::Qdisc& downlink_qdisc() { return *qdisc_; }
+  [[nodiscard]] core::ZhugeFlow* zhuge_flow(const net::FlowId& flow);
+  [[nodiscard]] std::uint64_t uplink_delayed() const { return uplink_delayed_; }
+  [[nodiscard]] std::uint64_t uplink_dropped() const { return uplink_dropped_; }
+  [[nodiscard]] wireless::WifiLink* wifi_link() { return wifi_link_.get(); }
+
+ private:
+  void on_qdisc_dequeue(const Packet& p, TimePoint now);
+  void on_wireless_delivered(const Packet& p, TimePoint now);
+  [[nodiscard]] Duration instantaneous_queue_delay(TimePoint now) const;
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  Config cfg_;
+  PacketHandler to_server_;
+
+  std::unique_ptr<queue::Qdisc> qdisc_;
+  std::unique_ptr<wireless::WifiLink> wifi_link_;
+  std::unique_ptr<wireless::CellularLink> cellular_link_;
+
+  std::unordered_map<net::FlowId, std::unique_ptr<core::ZhugeFlow>,
+                     net::FlowIdHash>
+      zhuge_flows_;
+  std::unordered_map<net::FlowId, std::unique_ptr<baseline::FastAck>,
+                     net::FlowIdHash>
+      fastack_flows_;
+  std::unordered_set<net::FlowId, net::FlowIdHash> rtc_flows_;
+  std::unique_ptr<baseline::AbcRouter> abc_router_;
+  stats::WindowedRate abc_dequeue_rate_;
+
+  std::uint64_t uplink_delayed_ = 0;
+  std::uint64_t uplink_dropped_ = 0;
+};
+
+}  // namespace zhuge::app

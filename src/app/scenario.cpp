@@ -1,0 +1,468 @@
+#include "app/scenario.hpp"
+
+#include <algorithm>
+
+#include "cca/abc_sender.hpp"
+#include "cca/bbr.hpp"
+#include "cca/copa.hpp"
+#include "cca/cubic.hpp"
+#include "net/link.hpp"
+#include "net/seq.hpp"
+#include "queue/fifo.hpp"
+#include "transport/rtp_receiver.hpp"
+#include "transport/tcp_receiver.hpp"
+#include "transport/tcp_sender.hpp"
+
+namespace zhuge::app {
+
+namespace {
+
+using net::FlowId;
+using net::Packet;
+using sim::Duration;
+using sim::TimePoint;
+
+std::unique_ptr<cca::CongestionControl> make_tcp_cca(TcpCcaKind kind) {
+  switch (kind) {
+    case TcpCcaKind::kCopa: return std::make_unique<cca::Copa>();
+    case TcpCcaKind::kBbr: return std::make_unique<cca::Bbr>();
+    case TcpCcaKind::kCubic: return std::make_unique<cca::Cubic>();
+    case TcpCcaKind::kAbc: return std::make_unique<cca::AbcSender>();
+  }
+  return nullptr;
+}
+
+/// One RTC flow endpoint pair (server-side sender + client-side receiver)
+/// plus its metric sinks.
+struct RtcFlow {
+  FlowId flow;
+  bool optimized = true;
+  stats::Distribution downlink_owd_ms;
+
+  // RTP mode.
+  std::unique_ptr<transport::RtpSender> rtp_sender;
+  std::unique_ptr<transport::RtpReceiver> rtp_receiver;
+
+  // TCP mode.
+  std::unique_ptr<transport::TcpSender> tcp_sender;
+  std::unique_ptr<transport::TcpReceiver> tcp_receiver;
+  std::unique_ptr<rtc::VideoEncoder> tcp_encoder;
+  std::uint32_t tcp_next_frame = 0;
+
+  rtc::FrameStats frame_stats;
+  stats::Distribution network_rtt_ms;
+  std::uint64_t app_bytes_delivered = 0;  ///< post-warmup
+  double last_uplink_owd_ms = 0.0;
+};
+
+/// A CUBIC bulk competitor (fig16 / fig18-scp).
+struct BulkFlow {
+  FlowId flow;
+  std::unique_ptr<transport::TcpSender> sender;
+  std::unique_ptr<transport::TcpReceiver> receiver;
+  std::uint32_t next_chunk = 0;
+  bool active = true;
+};
+
+/// Everything alive during one run. Members are wired in construction
+/// order; declaration order here is destruction-safety order.
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& cfg) : cfg_(cfg) { build(); }
+
+  ScenarioResult run();
+
+ private:
+  void build();
+  void build_rtc_flow(std::size_t index);
+  void build_bulk_flow(std::size_t index);
+  void tick_bulk_sources();
+  void sample_series();
+  void handle_delivery_metrics(const Packet& p, RtcFlow& f);
+
+  ScenarioConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Rng> rng_;
+  net::PacketUidSource uids_;
+
+  std::unique_ptr<sim::Rng> scenario_rng_;  ///< MCS rolls etc.: a dedicated
+                                            ///< substream so the channel
+                                            ///< realisation is identical
+                                            ///< across AP modes
+  std::unique_ptr<wireless::Channel> down_channel_;
+  std::unique_ptr<wireless::Channel> up_channel_;
+  std::unique_ptr<wireless::Medium> medium_;
+  std::unique_ptr<AccessPoint> ap_;
+
+  // WAN links (wired, stable).
+  std::unique_ptr<net::PointToPointLink> wan_down_;  ///< servers -> AP
+  std::unique_ptr<net::PointToPointLink> wan_up_;    ///< AP -> servers
+
+  // Client uplink over the wireless medium.
+  std::unique_ptr<queue::DropTailFifo> uplink_qdisc_;
+  std::unique_ptr<wireless::WifiLink> uplink_wifi_;
+  std::unique_ptr<queue::DropTailFifo> uplink_cell_qdisc_;
+  std::unique_ptr<wireless::CellularLink> uplink_cell_;
+
+  std::vector<std::unique_ptr<RtcFlow>> rtc_flows_;
+  std::vector<std::unique_ptr<BulkFlow>> bulk_flows_;
+
+  ScenarioResult result_;
+  TimePoint warmup_end_;
+  TimePoint run_end_;
+
+  void client_send_uplink(Packet p);    ///< client -> wireless -> AP
+  void server_receive(Packet p);        ///< feedback demux at the servers
+  void client_receive(Packet p);        ///< data demux at the client
+};
+
+void Scenario::build() {
+  rng_ = std::make_unique<sim::Rng>(cfg_.seed, 11);
+  scenario_rng_ = std::make_unique<sim::Rng>(cfg_.seed, 23);
+  warmup_end_ = TimePoint::zero() + cfg_.warmup;
+  run_end_ = TimePoint::zero() + cfg_.duration;
+
+  if (cfg_.channel_trace != nullptr) {
+    down_channel_ = std::make_unique<wireless::Channel>(cfg_.channel_trace);
+    up_channel_ = std::make_unique<wireless::Channel>(cfg_.channel_trace);
+  } else {
+    down_channel_ = std::make_unique<wireless::Channel>(cfg_.mcs_index);
+    up_channel_ = std::make_unique<wireless::Channel>(cfg_.mcs_index);
+  }
+
+  wireless::Medium::Config mcfg;
+  mcfg.interferers = cfg_.interferers;
+  medium_ = std::make_unique<wireless::Medium>(sim_, *rng_, mcfg);
+
+  // AP -> servers wired uplink.
+  net::PointToPointLink::Config up_cfg;
+  up_cfg.rate_bps = cfg_.wan_rate_bps;
+  up_cfg.prop_delay = cfg_.wan_one_way;
+  wan_up_ = std::make_unique<net::PointToPointLink>(
+      sim_, up_cfg, [this](Packet p) { server_receive(std::move(p)); });
+
+  // The AP itself.
+  ap_ = std::make_unique<AccessPoint>(
+      sim_, *rng_, *down_channel_, *medium_, cfg_.ap,
+      [this](Packet p) { client_receive(std::move(p)); },
+      [this](Packet p) { wan_up_->send(std::move(p)); });
+
+  // Servers -> AP wired downlink.
+  net::PointToPointLink::Config down_cfg;
+  down_cfg.rate_bps = cfg_.wan_rate_bps;
+  down_cfg.prop_delay = cfg_.wan_one_way;
+  wan_down_ = std::make_unique<net::PointToPointLink>(
+      sim_, down_cfg, [this](Packet p) { ap_->from_wan(std::move(p)); });
+
+  // Client uplink: small FIFO through the shared wireless medium.
+  if (cfg_.ap.link == LinkKind::kWifi) {
+    uplink_qdisc_ = std::make_unique<queue::DropTailFifo>(200 * 1500);
+    wireless::WifiLink::Config ul_cfg = cfg_.ap.wifi;
+    ul_cfg.max_agg_packets = 8;  // feedback packets are small and few
+    uplink_wifi_ = std::make_unique<wireless::WifiLink>(
+        sim_, *rng_, *up_channel_, *medium_, *uplink_qdisc_, ul_cfg,
+        [this](Packet p) { ap_->from_client(std::move(p)); });
+  } else {
+    uplink_cell_qdisc_ = std::make_unique<queue::DropTailFifo>(200 * 1500);
+    uplink_cell_ = std::make_unique<wireless::CellularLink>(
+        sim_, *rng_, *up_channel_, *uplink_cell_qdisc_, cfg_.ap.cellular,
+        [this](Packet p) { ap_->from_client(std::move(p)); });
+  }
+
+  for (int i = 0; i < cfg_.rtc_flows; ++i) build_rtc_flow(static_cast<std::size_t>(i));
+  for (int i = 0; i < cfg_.competing_bulk_flows; ++i) {
+    build_bulk_flow(static_cast<std::size_t>(i));
+  }
+  if (cfg_.scp_periodic_competitor && bulk_flows_.empty()) build_bulk_flow(0);
+
+  // Periodic machinery: bulk refills, series sampling, scenario events.
+  sim_.schedule_after(Duration::millis(20), [this] { tick_bulk_sources(); });
+  sim_.schedule_after(Duration::millis(50), [this] { sample_series(); });
+
+  if (cfg_.scp_periodic_competitor) {
+    // Toggle the bulk flow every 30 s (fig18 "scp").
+    struct Toggler {
+      Scenario* s;
+      void operator()(bool on) const {
+        for (auto& b : s->bulk_flows_) b->active = on;
+        s->sim_.schedule_after(Duration::seconds(30),
+                               [t = *this, on] { t(!on); });
+      }
+    };
+    bulk_flows_.front()->active = false;
+    sim_.schedule_after(Duration::seconds(30), [t = Toggler{this}] { t(true); });
+  }
+  if (cfg_.mcs_random_switch) {
+    struct McsSwitcher {
+      Scenario* s;
+      void operator()() const {
+        const int mcs = static_cast<int>(s->scenario_rng_->uniform_int(6));  // MCS 0..5
+        s->down_channel_->set_mcs(mcs);
+        s->up_channel_->set_mcs(mcs);
+        s->sim_.schedule_after(Duration::seconds(30), [t = *this] { t(); });
+      }
+    };
+    sim_.schedule_after(Duration::seconds(30), [t = McsSwitcher{this}] { t(); });
+  }
+}
+
+void Scenario::build_rtc_flow(std::size_t index) {
+  auto f = std::make_unique<RtcFlow>();
+  f->flow = FlowId{/*src_ip=*/1, /*dst_ip=*/static_cast<std::uint32_t>(100 + index),
+                   /*src_port=*/5000, /*dst_port=*/6000,
+                   cfg_.protocol == Protocol::kRtp ? std::uint8_t{17} : std::uint8_t{6}};
+  f->optimized = cfg_.optimize_flow.empty() ? true
+                                            : (index < cfg_.optimize_flow.size() &&
+                                               cfg_.optimize_flow[index]);
+  f->last_uplink_owd_ms = cfg_.wan_one_way.to_millis() + 2.0;
+  if (f->optimized && cfg_.ap.mode != ApMode::kNone) {
+    ap_->register_rtc_flow(f->flow);
+  }
+
+  RtcFlow* fp = f.get();
+  if (index == 0) {
+    // Flow 0 feeds the time-series outputs used by the degradation-
+    // duration benches (Figs. 4, 14-16).
+    f->frame_stats.set_observer([this](TimePoint capture, TimePoint decode) {
+      result_.frame_delay_series_ms.record(decode, (decode - capture).to_millis());
+    });
+  }
+  if (cfg_.protocol == Protocol::kRtp) {
+    transport::RtpSender::Config scfg;
+    scfg.ssrc = static_cast<std::uint32_t>(index + 1);
+    scfg.video = cfg_.video;
+    scfg.gcc.start_rate_bps = cfg_.video.start_bitrate_bps;
+    scfg.gcc.min_rate_bps = cfg_.video.min_bitrate_bps;
+    scfg.gcc.max_rate_bps = cfg_.video.max_bitrate_bps;
+    scfg.nada.start_rate_bps = cfg_.video.start_bitrate_bps;
+    scfg.nada.min_rate_bps = cfg_.video.min_bitrate_bps;
+    scfg.nada.max_rate_bps = cfg_.video.max_bitrate_bps;
+    scfg.scream.start_rate_bps = cfg_.video.start_bitrate_bps;
+    scfg.scream.min_rate_bps = cfg_.video.min_bitrate_bps;
+    scfg.scream.max_rate_bps = cfg_.video.max_bitrate_bps;
+    scfg.rate_controller = cfg_.rtp_cca;
+    f->rtp_sender = std::make_unique<transport::RtpSender>(
+        sim_, *rng_, f->flow, scfg, uids_,
+        [this](Packet p) { wan_down_->send(std::move(p)); });
+
+    transport::RtpReceiver::Config rcfg;
+    rcfg.ssrc = scfg.ssrc;
+    f->rtp_receiver = std::make_unique<transport::RtpReceiver>(
+        sim_, rcfg, uids_, [this](Packet p) { client_send_uplink(std::move(p)); },
+        f->frame_stats);
+    f->rtp_sender->start();
+  } else {
+    transport::TcpSender::Config scfg;
+    f->tcp_sender = std::make_unique<transport::TcpSender>(
+        sim_, f->flow, make_tcp_cca(cfg_.tcp_cca), scfg, uids_,
+        [this](Packet p) { wan_down_->send(std::move(p)); });
+    // For TCP the per-packet network RTT is what a server-side capture
+    // measures: data departure to ACK arrival. Zhuge's held ACKs shift
+    // this curve forward (paper Fig. 10) without double-counting.
+    f->tcp_sender->set_rtt_observer([this, fp, index](Duration rtt, TimePoint now) {
+      if (now >= warmup_end_) {
+        fp->network_rtt_ms.add(rtt.to_millis());
+        if (index == 0) result_.sender_rtt_ms.add(rtt.to_millis());
+      }
+      if (index == 0) result_.rtt_series_ms.record(now, rtt.to_millis());
+    });
+    f->tcp_encoder = std::make_unique<rtc::VideoEncoder>(cfg_.video, *rng_);
+
+    transport::TcpReceiver::Config rcfg;
+    f->tcp_receiver = std::make_unique<transport::TcpReceiver>(
+        sim_, rcfg, uids_, [this](Packet p) { client_send_uplink(std::move(p)); },
+        [this, fp](std::uint32_t, TimePoint capture, TimePoint now) {
+          fp->frame_stats.on_frame_decoded(capture, now);
+        });
+
+    // Video-over-TCP source: frames at fps tracking the delivery rate;
+    // the encoder skips frames when the socket backlog exceeds ~250 ms of
+    // video (real encoders stall rather than queue without bound).
+    struct TcpFrameTick {
+      Scenario* s;
+      RtcFlow* f;
+      void operator()() const {
+        auto& sender = *f->tcp_sender;
+        const double hint = std::max(
+            sender.congestion_control().pacing_rate_bps() * 0.85,
+            sender.delivery_rate_bps(s->sim_.now()) * 0.95);
+        const double target =
+            hint > 0 ? hint : s->cfg_.video.start_bitrate_bps;
+        const std::uint64_t bytes = f->tcp_encoder->next_frame_bytes(target);
+        // Skip frames once ~100 ms of video is stuck in the socket: a
+        // real-time encoder stalls rather than queueing without bound,
+        // and anything deeper guarantees >400 ms frame delays.
+        const double backlog_limit =
+            std::max(f->tcp_encoder->encoder_rate_bps(), 1e5) * 0.10 / 8.0;
+        if (static_cast<double>(sender.backlog_bytes()) < backlog_limit) {
+          sender.write_frame(f->tcp_next_frame++, s->sim_.now(), bytes);
+        }
+        s->sim_.schedule_after(f->tcp_encoder->frame_interval(),
+                               [t = *this] { t(); });
+      }
+    };
+    sim_.schedule_after(Duration::millis(1), [t = TcpFrameTick{this, fp}] { t(); });
+  }
+  rtc_flows_.push_back(std::move(f));
+}
+
+void Scenario::build_bulk_flow(std::size_t index) {
+  auto b = std::make_unique<BulkFlow>();
+  b->flow = FlowId{/*src_ip=*/static_cast<std::uint32_t>(10 + index),
+                   /*dst_ip=*/200, /*src_port=*/7000,
+                   /*dst_port=*/static_cast<std::uint16_t>(8000 + index), 6};
+  transport::TcpSender::Config scfg;
+  b->sender = std::make_unique<transport::TcpSender>(
+      sim_, b->flow, std::make_unique<cca::Cubic>(), scfg, uids_,
+      [this](Packet p) { wan_down_->send(std::move(p)); });
+  transport::TcpReceiver::Config rcfg;
+  b->receiver = std::make_unique<transport::TcpReceiver>(
+      sim_, rcfg, uids_, [this](Packet p) { client_send_uplink(std::move(p)); },
+      nullptr);
+  bulk_flows_.push_back(std::move(b));
+}
+
+void Scenario::tick_bulk_sources() {
+  for (auto& b : bulk_flows_) {
+    if (b->active && b->sender->backlog_bytes() < 256 * 1024) {
+      b->sender->write_frame(b->next_chunk++, sim_.now(), 64 * 1024);
+    }
+  }
+  sim_.schedule_after(Duration::millis(20), [this] { tick_bulk_sources(); });
+}
+
+void Scenario::sample_series() {
+  if (!rtc_flows_.empty()) {
+    const auto& f = *rtc_flows_.front();
+    double rate = 0.0;
+    if (f.rtp_sender) {
+      rate = f.rtp_sender->target_rate_bps();
+    } else if (f.tcp_sender) {
+      const Duration srtt = f.tcp_sender->smoothed_rtt();
+      rate = srtt > Duration::zero()
+                 ? static_cast<double>(f.tcp_sender->congestion_control().cwnd_bytes()) *
+                       8.0 / srtt.to_seconds()
+                 : 0.0;
+    }
+    result_.rate_series_bps.record(sim_.now(), rate);
+  }
+  sim_.schedule_after(Duration::millis(50), [this] { sample_series(); });
+}
+
+void Scenario::client_send_uplink(Packet p) {
+  if (uplink_wifi_ != nullptr) {
+    uplink_wifi_->offer(std::move(p));
+  } else {
+    uplink_cell_->offer(std::move(p));
+  }
+}
+
+void Scenario::server_receive(Packet p) {
+  const TimePoint now = sim_.now();
+  // Demux to the matching sender; update the uplink OWD estimate used by
+  // the per-packet network-RTT metric.
+  for (auto& f : rtc_flows_) {
+    if (p.flow == f->flow.reversed()) {
+      const double owd = (now - p.sent_time).to_millis();
+      if (owd > 0 && owd < 10e3) f->last_uplink_owd_ms = owd;
+      if (f->rtp_sender && p.is_rtcp()) {
+        f->rtp_sender->on_rtcp(p);
+      } else if (f->tcp_sender && p.is_tcp()) {
+        f->tcp_sender->on_ack(p);
+      }
+      return;
+    }
+  }
+  for (auto& b : bulk_flows_) {
+    if (p.flow == b->flow.reversed() && p.is_tcp()) {
+      b->sender->on_ack(p);
+      return;
+    }
+  }
+}
+
+void Scenario::handle_delivery_metrics(const Packet& p, RtcFlow& f) {
+  const TimePoint now = sim_.now();
+  // RTP network RTT: measured downlink OWD plus the latest measured
+  // uplink OWD (client -> AP -> server); uplink wireless contention is
+  // included. TCP flows instead record sender-measured RTT samples (see
+  // build_rtc_flow), matching a server-side packet capture.
+  const bool is_tcp_flow = f.tcp_sender != nullptr;
+  const double down_ms = (now - p.sent_time).to_millis();
+  const double rtt_ms = down_ms + f.last_uplink_owd_ms;
+  if (!is_tcp_flow && &f == rtc_flows_.front().get()) {
+    result_.rtt_series_ms.record(now, rtt_ms);
+  }
+  if (now >= warmup_end_) {
+    if (!is_tcp_flow) f.network_rtt_ms.add(rtt_ms);
+    f.downlink_owd_ms.add(down_ms);
+    f.app_bytes_delivered += p.size_bytes;
+    if (p.predicted_delay_ms >= 0.0) {
+      const double actual_ms = (now - p.ap_enqueue_time).to_millis();
+      result_.prediction_error_ms.add(std::abs(p.predicted_delay_ms - actual_ms));
+      result_.predicted_vs_real_ms.emplace_back(p.predicted_delay_ms, actual_ms);
+    }
+  }
+}
+
+void Scenario::client_receive(Packet p) {
+  for (auto& f : rtc_flows_) {
+    if (p.flow == f->flow) {
+      handle_delivery_metrics(p, *f);
+      if (f->rtp_receiver && p.is_rtp()) {
+        f->rtp_receiver->on_rtp(p);
+      } else if (f->tcp_receiver && p.is_tcp()) {
+        f->tcp_receiver->on_data(p);
+      }
+      return;
+    }
+  }
+  for (auto& b : bulk_flows_) {
+    if (p.flow == b->flow && p.is_tcp()) {
+      b->receiver->on_data(p);
+      return;
+    }
+  }
+}
+
+ScenarioResult Scenario::run() {
+  sim_.run_until(run_end_);
+
+  const double measured_secs = (cfg_.duration - cfg_.warmup).to_seconds();
+  const auto warm_sec = static_cast<std::size_t>(cfg_.warmup.to_seconds());
+  const auto end_sec = static_cast<std::size_t>(cfg_.duration.to_seconds());
+
+  for (auto& f : rtc_flows_) {
+    FlowResult fr;
+    fr.network_rtt_ms = std::move(f->network_rtt_ms);
+    fr.downlink_owd_ms = std::move(f->downlink_owd_ms);
+    fr.frame_delay_ms = f->frame_stats.frame_delays_ms();
+    fr.frame_rate_fps = f->frame_stats.frame_rates(warm_sec, end_sec);
+    fr.goodput_bps =
+        static_cast<double>(f->app_bytes_delivered) * 8.0 / measured_secs;
+    fr.frames_decoded = f->frame_stats.frames_decoded();
+    if (f->rtp_sender) {
+      fr.frames_sent = f->rtp_sender->frames_sent();
+    } else {
+      fr.frames_sent = f->tcp_next_frame;  // frames offered to the socket
+    }
+    result_.flows.push_back(std::move(fr));
+
+    // Flow 0 series: frame delay per decoded frame is folded in here.
+  }
+  result_.qdisc_drops = ap_->downlink_qdisc().drops();
+  if (!rtc_flows_.empty() && rtc_flows_.front()->tcp_sender) {
+    result_.tcp_retransmissions = rtc_flows_.front()->tcp_sender->retransmissions();
+  }
+  result_.events_executed = sim_.events_executed();
+  return std::move(result_);
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  Scenario s(cfg);
+  return s.run();
+}
+
+}  // namespace zhuge::app

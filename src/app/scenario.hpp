@@ -1,0 +1,86 @@
+#pragma once
+// End-to-end scenario wiring: server(s) -> WAN -> AP -> wireless -> client,
+// with the uplink feedback path crossing the same wireless medium. This is
+// the evaluation harness behind every figure reproduction; examples use it
+// as the library's top-level API.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/access_point.hpp"
+#include "net/packet.hpp"
+#include "rtc/video.hpp"
+#include "stats/distribution.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/trace.hpp"
+#include "transport/rtp_sender.hpp"
+
+namespace zhuge::app {
+
+/// Transport/feedback family (§5.1).
+enum class Protocol : std::uint8_t { kRtp, kTcp };
+
+/// TCP-side CCA choice.
+enum class TcpCcaKind : std::uint8_t { kCopa, kBbr, kCubic, kAbc };
+
+/// Full experiment description.
+struct ScenarioConfig {
+  Protocol protocol = Protocol::kRtp;
+  TcpCcaKind tcp_cca = TcpCcaKind::kCopa;
+  transport::RtpCca rtp_cca = transport::RtpCca::kGcc;
+  AccessPoint::Config ap{};
+
+  const trace::Trace* channel_trace = nullptr;  ///< nullptr => MCS mode
+  int mcs_index = 7;
+  bool mcs_random_switch = false;          ///< fig18 "mcs": re-roll every 30 s
+  int interferers = 0;                     ///< fig17 wireless interference
+
+  int competing_bulk_flows = 0;            ///< fig16: CUBIC bulk at same AP
+  bool scp_periodic_competitor = false;    ///< fig18 "scp": 30 s on/off bulk
+
+  int rtc_flows = 1;                       ///< fig20 fairness: >1 RTC flows
+  std::vector<bool> optimize_flow{};       ///< per-RTC-flow AP optimisation
+                                           ///< (empty = optimise all)
+
+  rtc::VideoConfig video{};
+  sim::Duration wan_one_way = sim::Duration::millis(20);
+  double wan_rate_bps = 1e9;
+  sim::Duration duration = sim::Duration::seconds(60);
+  sim::Duration warmup = sim::Duration::seconds(5);
+  std::uint64_t seed = 1;
+};
+
+/// Per-RTC-flow outputs.
+struct FlowResult {
+  stats::Distribution network_rtt_ms;   ///< per-packet, post-warmup
+  stats::Distribution downlink_owd_ms;  ///< downlink one-way delay only
+  stats::Distribution frame_delay_ms;
+  stats::Distribution frame_rate_fps;   ///< per-second decoded frames
+  double goodput_bps = 0.0;             ///< application bytes delivered
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_decoded = 0;
+};
+
+/// Everything the benches print.
+struct ScenarioResult {
+  std::vector<FlowResult> flows;        ///< one per RTC flow
+  stats::TimeSeries rtt_series_ms;      ///< flow 0, includes warmup
+  stats::TimeSeries rate_series_bps;    ///< flow 0 CCA target / cwnd rate
+  stats::TimeSeries frame_delay_series_ms;  ///< flow 0
+  stats::TimeSeries frame_rate_series_fps;  ///< flow 0, per-second
+  stats::Distribution sender_rtt_ms;    ///< TCP: RTT samples seen by sender
+  stats::Distribution prediction_error_ms;       ///< |predicted - actual|
+  std::vector<std::pair<double, double>> predicted_vs_real_ms;
+  std::uint64_t qdisc_drops = 0;
+  std::uint64_t tcp_retransmissions = 0;  ///< flow 0, TCP mode
+  std::uint64_t events_executed = 0;
+
+  /// Flow 0 shorthand.
+  [[nodiscard]] const FlowResult& primary() const { return flows.front(); }
+};
+
+/// Run one scenario to completion. Deterministic in (config, seed).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace zhuge::app

@@ -1,0 +1,64 @@
+#pragma once
+// ABC sender side (Goyal et al., NSDI 2020) — the host half of the
+// host-router co-design baseline the paper compares against (§7.2).
+// The ABC router marks each data packet "accelerate" or "brake"; the
+// receiver echoes the mark on the ACK; the sender adjusts its window by
+// +1 MSS per accelerate and -1 MSS per brake, which makes the window
+// track the router's target rate within roughly one RTT.
+
+#include <algorithm>
+
+#include "cca/cca.hpp"
+
+namespace zhuge::cca {
+
+/// Window control driven entirely by echoed ABC router marks.
+class AbcSender final : public CongestionControl {
+ public:
+  struct Config {
+    std::uint64_t initial_cwnd = 10 * kMss;
+    std::uint64_t min_cwnd = 2 * kMss;
+  };
+
+  AbcSender() : AbcSender(Config{}) {}
+  explicit AbcSender(Config cfg) : cfg_(cfg), cwnd_(cfg.initial_cwnd) {}
+
+  void on_ack(const AckEvent& ev) override {
+    if (ev.rtt > Duration::zero()) {
+      srtt_ = srtt_ <= 0.0 ? ev.rtt.to_seconds()
+                           : 0.875 * srtt_ + 0.125 * ev.rtt.to_seconds();
+    }
+    switch (ev.abc_echo) {
+      case net::AbcMark::kAccelerate:
+        cwnd_ += kMss;
+        break;
+      case net::AbcMark::kBrake:
+        cwnd_ = cwnd_ > cfg_.min_cwnd + kMss ? cwnd_ - kMss : cfg_.min_cwnd;
+        break;
+      case net::AbcMark::kNone:
+        // Non-ABC hop on the path: fall back to gentle AIMD growth.
+        cwnd_ += kMss * kMss / std::max<std::uint64_t>(cwnd_, kMss);
+        break;
+    }
+  }
+
+  void on_loss(TimePoint, std::uint64_t) override {
+    cwnd_ = std::max(cfg_.min_cwnd, cwnd_ / 2);
+  }
+
+  void on_rto(TimePoint) override { cwnd_ = cfg_.min_cwnd; }
+
+  [[nodiscard]] std::uint64_t cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] double pacing_rate_bps() const override {
+    if (srtt_ <= 0.0) return 0.0;
+    return static_cast<double>(cwnd_) * 8.0 / srtt_;
+  }
+  [[nodiscard]] std::string name() const override { return "abc"; }
+
+ private:
+  Config cfg_;
+  std::uint64_t cwnd_;
+  double srtt_ = 0.0;
+};
+
+}  // namespace zhuge::cca

@@ -1,0 +1,51 @@
+#pragma once
+// Congestion-control interface for ACK-clocked (out-of-band feedback)
+// transports. The TCP stack drives implementations through these events;
+// they answer with a congestion window and a pacing rate.
+//
+// GCC (in-band, feedback-vector driven) has its own interface in gcc.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::cca {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Everything a CCA may want to know about one arriving ACK.
+struct AckEvent {
+  TimePoint now;
+  Duration rtt = Duration::zero();       ///< sample for the acked packet
+  std::uint64_t acked_bytes = 0;         ///< newly acknowledged bytes
+  std::uint64_t bytes_in_flight = 0;     ///< after this ACK
+  double delivery_rate_bps = 0.0;        ///< receiver-side rate estimate
+  net::AbcMark abc_echo = net::AbcMark::kNone;  ///< echoed ABC router mark
+};
+
+/// ACK-clocked congestion-control algorithm.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+  /// Loss inferred by fast retransmit (dup-ACK / SACK gap).
+  virtual void on_loss(TimePoint now, std::uint64_t lost_bytes) = 0;
+  /// Retransmission timeout fired.
+  virtual void on_rto(TimePoint now) = 0;
+
+  /// Current congestion window in bytes.
+  [[nodiscard]] virtual std::uint64_t cwnd_bytes() const = 0;
+  /// Pacing rate in bits/second (0 = unpaced, use cwnd clocking only).
+  [[nodiscard]] virtual double pacing_rate_bps() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+inline constexpr std::uint32_t kMss = 1200;  ///< segment payload bytes
+
+}  // namespace zhuge::cca

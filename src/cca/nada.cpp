@@ -1,0 +1,44 @@
+#include "cca/nada.hpp"
+
+namespace zhuge::cca {
+
+void Nada::on_feedback(const std::vector<TwccObservation>& observations,
+                       double loss_fraction, TimePoint now) {
+  if (observations.empty()) return;
+
+  // Median-ish one-way delay for this report: use the mean of samples.
+  double sum_ms = 0.0;
+  for (const auto& o : observations) {
+    sum_ms += (o.recv_time - o.send_time).to_millis();
+  }
+  const double owd_ms = sum_ms / static_cast<double>(observations.size());
+  // Track the base (minimum) delay: receiver/sender clocks need not be
+  // synchronised, only the queuing component matters.
+  if (base_delay_ms_ < 0.0 || owd_ms < base_delay_ms_) base_delay_ms_ = owd_ms;
+  const double d_queue_ms = std::max(0.0, owd_ms - base_delay_ms_);
+
+  // Composite congestion signal (RFC 8698 §4.2): delay + loss penalty.
+  x_prev_ms_ = x_curr_ms_;
+  x_curr_ms_ = d_queue_ms + cfg_.loss_penalty_ms * loss_fraction;
+
+  const double delta_ms = has_update_ ? std::min(500.0, (now - last_update_).to_millis())
+                                      : 100.0;
+  last_update_ = now;
+  has_update_ = true;
+
+  if (x_curr_ms_ < cfg_.qepsilon_ms && loss_fraction <= 0.0) {
+    // Accelerated ramp-up: multiplicative growth bounded per feedback.
+    rate_ = std::min(cfg_.max_rate_bps, rate_ * (1.0 + cfg_.rampup_step));
+    return;
+  }
+
+  // Gradual update (RFC 8698 §4.3): proportional + derivative control.
+  const double x_offset = x_curr_ms_ - cfg_.xref_ms * cfg_.max_rate_bps / rate_;
+  const double x_diff = x_curr_ms_ - x_prev_ms_;
+  rate_ -= cfg_.kappa * (delta_ms / cfg_.tau_ms) * (x_offset / cfg_.tau_ms) *
+           cfg_.max_rate_bps;
+  rate_ -= cfg_.kappa * cfg_.eta * (x_diff / cfg_.tau_ms) * cfg_.max_rate_bps;
+  rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+}
+
+}  // namespace zhuge::cca

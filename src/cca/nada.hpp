@@ -1,0 +1,51 @@
+#pragma once
+// NADA (RFC 8698): Network-Assisted Dynamic Adaptation — one of the
+// in-band RTC CCAs in the paper's Table 2. Feedback-driven like GCC, but
+// rate updates follow a control law on a composite congestion signal
+// (queuing delay plus a loss penalty) with proportional and derivative
+// terms, plus an accelerated ramp-up mode when the path is uncongested.
+
+#include <algorithm>
+#include <vector>
+
+#include "cca/gcc.hpp"  // reuses TwccObservation
+
+namespace zhuge::cca {
+
+/// Simplified RFC 8698 rate controller.
+class Nada {
+ public:
+  struct Config {
+    double start_rate_bps = 1e6;
+    double min_rate_bps = 150e3;
+    double max_rate_bps = 20e6;
+    double xref_ms = 10.0;     ///< reference congestion signal
+    double kappa = 0.5;        ///< scaling of the gradual update
+    double eta = 2.0;          ///< derivative weight
+    double tau_ms = 500.0;     ///< time constant
+    double loss_penalty_ms = 1000.0;  ///< delay-equivalent of 100 % loss
+    double rampup_step = 0.10; ///< accelerated ramp-up per feedback
+    double qepsilon_ms = 10.0; ///< "uncongested" queuing-delay bound
+  };
+
+  Nada() : Nada(Config{}) {}
+  explicit Nada(Config cfg) : cfg_(cfg), rate_(cfg.start_rate_bps) {}
+
+  /// Feed one TWCC feedback report plus the current loss fraction.
+  void on_feedback(const std::vector<TwccObservation>& observations,
+                   double loss_fraction, TimePoint now);
+
+  [[nodiscard]] double target_rate_bps() const { return rate_; }
+  [[nodiscard]] double congestion_signal_ms() const { return x_curr_ms_; }
+
+ private:
+  Config cfg_;
+  double rate_;
+  double base_delay_ms_ = -1.0;  ///< min one-way delay seen (clock-offset base)
+  double x_curr_ms_ = 0.0;
+  double x_prev_ms_ = 0.0;
+  TimePoint last_update_;
+  bool has_update_ = false;
+};
+
+}  // namespace zhuge::cca

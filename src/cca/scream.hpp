@@ -1,0 +1,106 @@
+#pragma once
+// SCReAM (RFC 8298): Self-Clocked Rate Adaptation for Multimedia — the
+// third in-band RTC controller in the paper's Table 2. A simplified
+// window-based implementation of the RFC's core control law: a congestion
+// window steered by the queuing-delay distance from a target, converted
+// to a media target rate; multiplicative backoff on loss.
+
+#include <algorithm>
+#include <vector>
+
+#include "cca/gcc.hpp"  // TwccObservation
+
+namespace zhuge::cca {
+
+/// Simplified RFC 8298 rate controller (feedback-vector driven).
+class Scream {
+ public:
+  struct Config {
+    double start_rate_bps = 1e6;
+    double min_rate_bps = 150e3;
+    double max_rate_bps = 20e6;
+    double qdelay_target_ms = 60.0;  ///< RFC 8298 default (congested target)
+    double gain_up = 1.0;            ///< window gain when below target
+    double beta_loss = 0.8;          ///< multiplicative decrease on loss
+    double base_owd_forget = 0.001;  ///< slow upward drift of the base OWD
+  };
+
+  Scream() : Scream(Config{}) {}
+  explicit Scream(Config cfg) : cfg_(cfg), rate_(cfg.start_rate_bps) {}
+
+  /// Feed one feedback report plus the loss fraction observed with it.
+  void on_feedback(const std::vector<TwccObservation>& observations,
+                   double loss_fraction, TimePoint now) {
+    if (observations.empty()) return;
+
+    double sum_owd_ms = 0.0;
+    double min_owd_ms = 1e18;
+    std::int64_t bytes = 0;
+    for (const auto& o : observations) {
+      const double owd = (o.recv_time - o.send_time).to_millis();
+      sum_owd_ms += owd;
+      min_owd_ms = std::min(min_owd_ms, owd);
+      bytes += o.size_bytes;
+    }
+    const double owd_ms = sum_owd_ms / static_cast<double>(observations.size());
+
+    // Base delay: running minimum with a slow forgetting drift so route
+    // changes do not pin the estimate forever (RFC 8298 §4.1.2's base
+    // delay tracking, simplified).
+    if (base_owd_ms_ < 0.0 || min_owd_ms < base_owd_ms_) {
+      base_owd_ms_ = min_owd_ms;
+    } else {
+      base_owd_ms_ += cfg_.base_owd_forget * (owd_ms - base_owd_ms_);
+    }
+    const double qdelay_ms = std::max(0.0, owd_ms - base_owd_ms_);
+
+    // Loss: multiplicative backoff once per congestion episode.
+    if (loss_fraction > 0.1) {
+      if (!in_loss_episode_) {
+        rate_ = std::max(cfg_.min_rate_bps, rate_ * cfg_.beta_loss);
+        in_loss_episode_ = true;
+      }
+    } else {
+      in_loss_episode_ = false;
+    }
+
+    // Core control law (RFC 8298 §4.1.3, window form folded into the
+    // rate): off_target in [-1, 1]; positive -> grow, negative -> shrink
+    // proportionally to how far past the target the queue is.
+    const double off_target =
+        (cfg_.qdelay_target_ms - qdelay_ms) / cfg_.qdelay_target_ms;
+    const double delta_s = has_update_
+                               ? std::min(0.5, (now - last_update_).to_seconds())
+                               : 0.1;
+    last_update_ = now;
+    has_update_ = true;
+
+    if (off_target > 0.0) {
+      // Below target: self-clocked increase proportional to delivered
+      // bytes (bounded per feedback).
+      const double bytes_rate = static_cast<double>(bytes) * 8.0 / delta_s;
+      const double headroom = std::min(1.0, off_target);
+      rate_ += cfg_.gain_up * headroom *
+               std::min(0.10 * rate_, 0.05 * std::max(bytes_rate, rate_)) *
+               (delta_s / 0.1);
+    } else {
+      // Above target: proportional decrease, up to 10 % per 100 ms.
+      rate_ *= 1.0 + std::max(-0.10, 0.5 * off_target) * (delta_s / 0.1);
+    }
+    rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  }
+
+  [[nodiscard]] double target_rate_bps() const { return rate_; }
+  [[nodiscard]] double qdelay_target_ms() const { return cfg_.qdelay_target_ms; }
+  [[nodiscard]] double base_owd_ms() const { return base_owd_ms_; }
+
+ private:
+  Config cfg_;
+  double rate_;
+  double base_owd_ms_ = -1.0;
+  bool in_loss_episode_ = false;
+  TimePoint last_update_;
+  bool has_update_ = false;
+};
+
+}  // namespace zhuge::cca

@@ -1,0 +1,92 @@
+#pragma once
+// Release scheduler for delayed out-of-band feedback packets.
+//
+// The out-of-band updater does not just compute a hold time and fire a
+// one-shot timer: when the Fortune Teller observes the queue *draining*
+// (negative delay deltas), already-scheduled holds are retreated so the
+// good news reaches the sender just as fast as the bad news did — a
+// one-shot timer would freeze the release clock at its most pessimistic
+// value and black the feedback stream out after the congestion has passed.
+// Retreats shift every pending release by the same amount (clamped at
+// now), which preserves order.
+
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace zhuge::core {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Ordered, retreatable release queue for held feedback packets.
+class AckScheduler {
+ public:
+  AckScheduler(sim::Simulator& simulator, net::PacketHandler out)
+      : sim_(simulator), out_(std::move(out)) {}
+
+  /// Hold `p` until `release` (clamped to now). Releases stay ordered as
+  /// long as callers never pass a `release` before the previous one —
+  /// which the order-preserving floor in the updater guarantees.
+  void hold(net::Packet p, TimePoint release) {
+    if (release < sim_.now()) release = sim_.now();
+    pending_.push_back({std::move(p), release});
+    arm();
+  }
+
+  /// Shift every pending release `amount` earlier (never before now).
+  /// Returns how much the *latest* release actually retreated, so the
+  /// caller can keep its shift accounting consistent.
+  Duration retreat(Duration amount) {
+    const TimePoint now = sim_.now();
+    if (pending_.empty() || amount <= Duration::zero()) return Duration::zero();
+    const TimePoint last_before = pending_.back().release;
+    for (auto& h : pending_) {
+      h.release = std::max(now, h.release - amount);
+    }
+    arm();
+    return last_before - pending_.back().release;
+  }
+
+  /// Release time of the most recently scheduled packet (now if empty).
+  [[nodiscard]] TimePoint last_release(TimePoint now) const {
+    return pending_.empty() ? now : pending_.back().release;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Held {
+    net::Packet packet;
+    TimePoint release;
+  };
+
+  void arm() {
+    if (timer_ != 0) {
+      sim_.cancel(timer_);
+      timer_ = 0;
+    }
+    if (pending_.empty()) return;
+    timer_ = sim_.schedule_at(pending_.front().release, [this] {
+      timer_ = 0;
+      fire();
+    });
+  }
+
+  void fire() {
+    const TimePoint now = sim_.now();
+    while (!pending_.empty() && pending_.front().release <= now) {
+      out_(std::move(pending_.front().packet));
+      pending_.pop_front();
+    }
+    arm();
+  }
+
+  sim::Simulator& sim_;
+  net::PacketHandler out_;
+  std::deque<Held> pending_;
+  sim::EventId timer_ = 0;
+};
+
+}  // namespace zhuge::core

@@ -1,0 +1,124 @@
+#pragma once
+// Zhuge Feedback Updater — in-band protocols (§5.3).
+//
+// For RTP/RTCP the receiver writes per-packet arrival timestamps into TWCC
+// feedback packets. Zhuge instead:
+//   Step 1 — on every downlink RTP packet, records (twcc_seq,
+//            predicted_recv_time = now + totalDelay) on the AP clock;
+//   Step 2 — periodically constructs a TWCC feedback packet itself from
+//            the recorded fortunes and sends it straight up the (wired)
+//            WAN path, while dropping the client's own TWCC packets to
+//            keep the sender's timestamp stream consistent.
+// Other RTCP (NACK, receiver reports) passes through untouched. Timestamps
+// all come from one AP clock, so the sender's delta-based CCA (GCC) needs
+// no synchronisation — exactly the argument of §5.3.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::core {
+
+using net::Packet;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Configuration for the in-band updater.
+struct InbandConfig {
+  Duration feedback_interval = Duration::millis(25);  ///< TWCC send period
+  std::size_t max_entries_per_feedback = 128;
+  std::uint32_t feedback_packet_bytes = 80;  ///< wire size of built TWCC
+};
+
+/// Per-flow in-band feedback constructor.
+class InbandFeedbackUpdater {
+ public:
+  /// `send_feedback` receives AP-constructed TWCC packets destined for the
+  /// sender (they enter the AP's wired uplink, bypassing the wireless hop).
+  InbandFeedbackUpdater(sim::Simulator& simulator, InbandConfig cfg,
+                        net::FlowId media_flow, std::uint32_t ssrc,
+                        net::PacketHandler send_feedback)
+      : sim_(simulator),
+        cfg_(cfg),
+        media_flow_(media_flow),
+        ssrc_(ssrc),
+        send_feedback_(std::move(send_feedback)) {}
+
+  /// Step 1: record the fortune of a downlink RTP packet.
+  ///
+  /// Reported receive times are clamped to be non-decreasing: a real
+  /// receiver's arrival clock is monotonic, and per-packet prediction
+  /// noise (head-of-queue wait sawtooth under AMPDU batching) must not
+  /// surface as negative inter-arrival gradients at the sender.
+  void on_rtp_packet(const net::RtpHeader& rtp, Duration predicted_delay) {
+    TimePoint predicted_recv = sim_.now() + predicted_delay;
+    if (predicted_recv < last_reported_recv_) predicted_recv = last_reported_recv_;
+    last_reported_recv_ = predicted_recv;
+    pending_.push_back({rtp.twcc_seq, predicted_recv});
+    if (!timer_armed_) {
+      timer_armed_ = true;
+      sim_.schedule_after(cfg_.feedback_interval, [this] { flush(); });
+    }
+  }
+
+  /// Filter for uplink RTCP: returns true when the packet must be dropped
+  /// (a client-built TWCC for our flow — Zhuge replaces those).
+  [[nodiscard]] bool should_drop_uplink(const Packet& p) const {
+    if (!p.is_rtcp()) return false;
+    const auto* fb = std::get_if<net::TwccFeedback>(&p.rtcp().payload);
+    return fb != nullptr && fb->ssrc == ssrc_;
+  }
+
+  [[nodiscard]] std::uint64_t feedback_sent() const { return feedback_sent_; }
+
+ private:
+  /// Step 2: build and send one TWCC packet from the recorded fortunes.
+  void flush() {
+    timer_armed_ = false;
+    if (!pending_.empty()) {
+      net::TwccFeedback fb;
+      fb.ssrc = ssrc_;
+      fb.constructed_by_ap = true;
+      const std::size_t n = std::min(pending_.size(), cfg_.max_entries_per_feedback);
+      fb.entries.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        fb.entries.push_back({pending_[i].twcc_seq, pending_[i].predicted_recv});
+      }
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(n));
+
+      Packet p;
+      p.flow = media_flow_.reversed();
+      p.size_bytes = cfg_.feedback_packet_bytes;
+      p.sent_time = sim_.now();
+      p.header = net::RtcpHeader{std::move(fb)};
+      ++feedback_sent_;
+      send_feedback_(std::move(p));
+    }
+    if (!pending_.empty()) {
+      timer_armed_ = true;
+      sim_.schedule_after(cfg_.feedback_interval, [this] { flush(); });
+    }
+  }
+
+  struct Entry {
+    std::uint16_t twcc_seq;
+    TimePoint predicted_recv;
+  };
+
+  sim::Simulator& sim_;
+  InbandConfig cfg_;
+  net::FlowId media_flow_;
+  std::uint32_t ssrc_;
+  net::PacketHandler send_feedback_;
+  std::deque<Entry> pending_;
+  bool timer_armed_ = false;
+  std::uint64_t feedback_sent_ = 0;
+  TimePoint last_reported_recv_;
+};
+
+}  // namespace zhuge::core

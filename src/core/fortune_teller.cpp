@@ -1,0 +1,93 @@
+#include "core/fortune_teller.hpp"
+
+#include <algorithm>
+
+namespace zhuge::core {
+
+void FortuneTeller::on_dequeue(std::int64_t bytes, TimePoint now,
+                               bool queue_empty_after) {
+  tx_rate_.record(now, bytes);
+
+  if (last_dequeue_.has_value()) {
+    const Duration gap = now - *last_dequeue_;
+    if (gap >= cfg_.burst_resolution) {
+      // A new burst begins: the previous one is complete.
+      finalize_burst(now);
+      // Record the inter-departure interval; sub-millisecond gaps are
+      // intra-AMPDU and tell us nothing about the channel (§4.2), and a
+      // gap that followed an emptied queue is application idle time.
+      if (!last_left_queue_empty_) {
+        dequeue_interval_.record(now, gap.to_seconds());
+      }
+      current_burst_bytes_ = bytes;
+      current_burst_start_ = now;
+    } else {
+      current_burst_bytes_ += bytes;  // same simultaneous departure
+    }
+  } else {
+    current_burst_bytes_ = bytes;
+    current_burst_start_ = now;
+  }
+  last_dequeue_ = now;
+  last_left_queue_empty_ = queue_empty_after;
+}
+
+void FortuneTeller::finalize_burst(TimePoint now) {
+  if (current_burst_bytes_ > 0) {
+    burst_max_.record(now, static_cast<double>(current_burst_bytes_));
+  }
+  current_burst_bytes_ = 0;
+}
+
+double FortuneTeller::tx_rate_bps(TimePoint now) {
+  const auto r = tx_rate_.rate_bps(now);
+  if (!r.has_value() || *r <= 0.0) return cfg_.fallback_rate_bps;
+  return *r;
+}
+
+Duration FortuneTeller::tx_delay(TimePoint now) {
+  const auto m = dequeue_interval_.mean(now);
+  if (!m.has_value()) return cfg_.fallback_tx;
+  return Duration::from_seconds(*m);
+}
+
+std::int64_t FortuneTeller::max_burst_bytes(TimePoint now) {
+  // Include the burst currently being accumulated.
+  const double past = burst_max_.max(now, 0.0);
+  return static_cast<std::int64_t>(
+      std::max(past, static_cast<double>(current_burst_bytes_)));
+}
+
+FortuneTeller::Prediction FortuneTeller::predict(
+    TimePoint now, std::int64_t queue_bytes, std::optional<TimePoint> head_since) {
+  Prediction out{};
+
+  // qLong (Eq. 1): queue backlog beyond one link-layer burst, divided by
+  // the windowed dequeue rate.
+  std::int64_t q_size = queue_bytes;
+  if (cfg_.burst_adjustment) {
+    q_size = std::max<std::int64_t>(queue_bytes - max_burst_bytes(now), 0);
+  }
+  const double rate = tx_rate_bps(now);
+  out.q_long = Duration::from_seconds(static_cast<double>(q_size) * 8.0 / rate);
+
+  // qShort: how long the current head packet has been waiting for a grant.
+  if (cfg_.use_qshort && head_since.has_value()) {
+    out.q_short = now - *head_since;
+  }
+
+  // tx: link-layer transmission delay.
+  out.tx = tx_delay(now);
+
+  // Sanity clamp: predictions beyond the clamp are equally actionable.
+  const Duration total = out.q_long + out.q_short + out.tx;
+  if (total > cfg_.max_prediction) {
+    const double scale = cfg_.max_prediction.ratio(total);
+    out.q_long = out.q_long * scale;
+    out.q_short = out.q_short * scale;
+    out.tx = out.tx * scale;
+  }
+  return out;
+}
+
+}  // namespace zhuge::core

@@ -1,0 +1,104 @@
+#pragma once
+// Zhuge Fortune Teller (§4): per-packet delay prediction at the AP.
+//
+// On each downlink packet arrival the teller predicts the delay that packet
+// will experience to the client:
+//
+//   totalDelay = qLong + qShort + tx                      (Fig. 6)
+//     qLong  = cur(qSize) / avg(txRate)
+//       with qSize = max(bytesInQueue - maxBurstSize, 0)  (Eq. 1)
+//     qShort = cur(qFrontWaitTime)
+//     tx     = avg(dequeueIntvl), ignoring intervals < 1 ms
+//
+// qLong covers queue build-up from bursty RTC arrivals; qShort is the
+// instant signal of a stalling channel (head-of-queue sojourn); tx is the
+// link-layer transmission delay. Averages use a sliding window (40 ms by
+// default — one video frame interval at 25 fps, §7.1), resolving the
+// transience-equilibrium nexus that defeats a single-window estimator.
+
+#include <cstdint>
+#include <optional>
+
+#include "queue/qdisc.hpp"
+#include "sim/time.hpp"
+#include "stats/windowed.hpp"
+
+namespace zhuge::core {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Tuning knobs for the Fortune Teller. Defaults follow the paper.
+struct FortuneTellerConfig {
+  Duration window = Duration::millis(40);     ///< avg(.) sliding window
+  Duration burst_resolution = Duration::millis(1);  ///< simultaneity threshold
+  Duration burst_window = Duration::millis(200);    ///< maxBurstSize lookback
+  double fallback_rate_bps = 10e6;  ///< used before any departure is seen
+  Duration fallback_tx = Duration::millis(2);       ///< tx before any sample
+  Duration max_prediction = Duration::seconds(4);   ///< sanity clamp
+  bool burst_adjustment = true;   ///< Eq. 1 on/off (ablation)
+  bool use_qshort = true;         ///< qShort term on/off (ablation)
+};
+
+/// Per-flow delay predictor. Feed it every departure of the flow from the
+/// network-layer queue via on_dequeue(); ask predict() on packet arrival.
+class FortuneTeller {
+ public:
+  explicit FortuneTeller(FortuneTellerConfig cfg = {})
+      : cfg_(cfg),
+        tx_rate_(cfg.window),
+        dequeue_interval_(cfg.window),
+        burst_max_(cfg.burst_window) {}
+
+  /// Record one packet of this flow leaving the network-layer queue.
+  /// Multiple packets aggregated into one AMPDU arrive here at the same
+  /// instant and are folded into a single burst. `queue_empty_after` must
+  /// be true when this departure left the flow's queue empty: the gap that
+  /// follows an emptied queue is application idle time (e.g. the spacing
+  /// between video frames), not channel latency, and must not contaminate
+  /// the avg(dequeueIntvl) transmission-delay estimate.
+  void on_dequeue(std::int64_t bytes, TimePoint now, bool queue_empty_after = false);
+
+  /// Per-component prediction (for tests, Fig. 7 and the heatmap bench).
+  struct Prediction {
+    Duration q_long;
+    Duration q_short;
+    Duration tx;
+    [[nodiscard]] Duration total() const { return q_long + q_short + tx; }
+  };
+
+  /// Predict the delay a packet arriving now would experience, given the
+  /// queue's current state for this flow.
+  [[nodiscard]] Prediction predict(TimePoint now, std::int64_t queue_bytes,
+                                   std::optional<TimePoint> head_since);
+
+  /// Convenience overload reading per-flow state straight from a qdisc.
+  [[nodiscard]] Prediction predict(TimePoint now, const queue::Qdisc& qdisc,
+                                   const net::FlowId& flow) {
+    return predict(now, qdisc.byte_count_flow(flow), qdisc.head_since_flow(flow));
+  }
+
+  /// Current avg(txRate) estimate in bits/second (fallback if no samples).
+  [[nodiscard]] double tx_rate_bps(TimePoint now);
+  /// Current avg(dequeueIntvl) estimate.
+  [[nodiscard]] Duration tx_delay(TimePoint now);
+  /// Current maxBurstSize (bytes) within the burst window.
+  [[nodiscard]] std::int64_t max_burst_bytes(TimePoint now);
+
+  [[nodiscard]] const FortuneTellerConfig& config() const { return cfg_; }
+
+ private:
+  void finalize_burst(TimePoint now);
+
+  FortuneTellerConfig cfg_;
+  stats::WindowedRate tx_rate_;
+  stats::WindowedMean dequeue_interval_;  ///< seconds, intervals >= 1 ms only
+  stats::WindowedMax burst_max_;          ///< bytes per <=1 ms departure burst
+
+  std::optional<TimePoint> last_dequeue_;
+  bool last_left_queue_empty_ = false;
+  std::int64_t current_burst_bytes_ = 0;
+  TimePoint current_burst_start_;
+};
+
+}  // namespace zhuge::core

@@ -1,0 +1,166 @@
+#pragma once
+// Zhuge per-flow processor: Fortune Teller + Feedback Updater glue.
+//
+// One ZhugeFlow instance lives on the AP for each optimised RTC flow
+// (flows are identified by 5-tuple only; §5.2). The AP calls:
+//   * on_dequeue()  — every departure of the flow from the downlink qdisc
+//   * on_downlink() — every downlink data packet, before it enters the
+//                     wireless queue (predicts and records its fortune)
+//   * on_uplink()   — every uplink packet of the reverse flow; the returned
+//                     decision says whether to forward now, hold for a
+//                     computed delay (out-of-band), or drop (a client TWCC
+//                     that Zhuge replaces, in-band).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/feedback_inband.hpp"
+#include "core/feedback_oob.hpp"
+#include "core/fortune_teller.hpp"
+#include "net/packet.hpp"
+#include "queue/qdisc.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace zhuge::core {
+
+/// Everything tunable about one Zhuge flow.
+struct ZhugeConfig {
+  FortuneTellerConfig fortune{};
+  OobConfig oob{};
+  InbandConfig inband{};
+};
+
+/// What the AP should do with an uplink packet.
+enum class UplinkAction : std::uint8_t { kForward, kDelay, kDrop };
+
+struct UplinkDecision {
+  UplinkAction action = UplinkAction::kForward;
+  Duration delay = Duration::zero();  ///< meaningful for kDelay
+};
+
+/// Per-flow Zhuge state machine.
+class ZhugeFlow {
+ public:
+  /// `send_feedback` is the AP's wired uplink towards the sender; the
+  /// in-band updater pushes its self-built TWCC packets through it.
+  ZhugeFlow(sim::Simulator& simulator, sim::Rng& rng, net::FlowId flow,
+            ZhugeConfig cfg, net::PacketHandler send_feedback)
+      : sim_(simulator),
+        rng_(rng),
+        flow_(flow),
+        cfg_(cfg),
+        send_feedback_(std::move(send_feedback)),
+        teller_(cfg.fortune) {}
+
+  /// Feed departures of this flow from the downlink network-layer queue.
+  /// `queue_empty_after`: the flow's queue is empty after this departure.
+  void on_dequeue(const net::Packet& p, TimePoint now, bool queue_empty_after = false) {
+    teller_.on_dequeue(p.size_bytes, now, queue_empty_after);
+  }
+
+  /// Predict the fortune of a downlink data packet just before it is
+  /// offered to the qdisc (the packet sees the queue in front of it, §2.3)
+  /// and annotate `p.predicted_delay_ms`.
+  [[nodiscard]] Duration predict_downlink(net::Packet& p, const queue::Qdisc& qdisc) {
+    const auto pred = teller_.predict(sim_.now(), qdisc, flow_);
+    const Duration total = pred.total();
+    p.predicted_delay_ms = total.to_millis();
+    return total;
+  }
+
+  /// Commit the predicted fortune to the feedback state. Call only after
+  /// the packet was actually accepted by the qdisc: a tail-dropped packet
+  /// must not be reported as (eventually) received — the AP sees the drop
+  /// and keeps the loss visible to the sender.
+  void commit_downlink(bool is_rtp, const net::RtpHeader* rtp, Duration total) {
+    if (is_rtp && rtp != nullptr) {
+      inband(rtp->ssrc).on_rtp_packet(*rtp, total);
+    } else {
+      oob().on_data_delay(total, sim_.now());
+    }
+  }
+
+  /// Convenience: predict + offer-independent commit (tests, benches).
+  void on_downlink(net::Packet& p, const queue::Qdisc& qdisc) {
+    const Duration total = predict_downlink(p, qdisc);
+    if (p.is_rtp()) {
+      commit_downlink(true, &p.rtp(), total);
+    } else {
+      commit_downlink(false, nullptr, total);
+    }
+  }
+
+  /// Handle an uplink packet of the reverse flow end to end: drop it,
+  /// forward it immediately, or hold it on the retreatable release queue.
+  /// Returns the action taken (for the AP's counters).
+  UplinkAction handle_uplink(net::Packet p) {
+    if (p.is_rtcp()) {
+      if (inband_ && inband_->should_drop_uplink(p)) return UplinkAction::kDrop;
+      send_feedback_(std::move(p));
+      return UplinkAction::kForward;
+    }
+    const bool oob_feedback = (p.is_tcp() && p.tcp().is_ack) || !p.is_rtp();
+    if (oob_feedback && oob_) {
+      oob_->schedule_feedback(std::move(p), sim_.now());
+      return UplinkAction::kDelay;
+    }
+    send_feedback_(std::move(p));
+    return UplinkAction::kForward;
+  }
+
+  /// Decide what to do with an uplink packet of the reverse flow
+  /// (introspection form used by unit tests; does not forward anything).
+  [[nodiscard]] UplinkDecision on_uplink(const net::Packet& p) {
+    if (p.is_rtcp()) {
+      // In-band mode: drop the client's own TWCC (Zhuge builds its own);
+      // NACKs and receiver reports pass through untouched.
+      if (inband_ && inband_->should_drop_uplink(p)) {
+        return {UplinkAction::kDrop, Duration::zero()};
+      }
+      return {UplinkAction::kForward, Duration::zero()};
+    }
+    if (p.is_tcp() && p.tcp().is_ack && oob_) {
+      return {UplinkAction::kDelay, oob_->ack_delay(sim_.now())};
+    }
+    // Unknown/encrypted out-of-band feedback: if we have been predicting
+    // for this flow in OOB mode, treat any reverse-direction packet as
+    // feedback (QUIC case — headers unreadable, 5-tuple only).
+    if (!p.is_rtp() && oob_) {
+      return {UplinkAction::kDelay, oob_->ack_delay(sim_.now())};
+    }
+    return {UplinkAction::kForward, Duration::zero()};
+  }
+
+  [[nodiscard]] FortuneTeller& fortune_teller() { return teller_; }
+  [[nodiscard]] const net::FlowId& flow() const { return flow_; }
+  [[nodiscard]] bool is_inband() const { return inband_ != nullptr; }
+
+ private:
+  OobFeedbackUpdater& oob() {
+    if (!oob_) {
+      oob_ = std::make_unique<OobFeedbackUpdater>(sim_, cfg_.oob, rng_,
+                                                  send_feedback_);
+    }
+    return *oob_;
+  }
+  InbandFeedbackUpdater& inband(std::uint32_t ssrc) {
+    if (!inband_) {
+      inband_ = std::make_unique<InbandFeedbackUpdater>(sim_, cfg_.inband, flow_,
+                                                        ssrc, send_feedback_);
+    }
+    return *inband_;
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  net::FlowId flow_;
+  ZhugeConfig cfg_;
+  net::PacketHandler send_feedback_;
+  FortuneTeller teller_;
+  std::unique_ptr<OobFeedbackUpdater> oob_;
+  std::unique_ptr<InbandFeedbackUpdater> inband_;
+};
+
+}  // namespace zhuge::core

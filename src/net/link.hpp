@@ -1,0 +1,89 @@
+#pragma once
+// Point-to-point wired link: serialization at a fixed rate plus fixed
+// propagation delay, with an optional drop-tail buffer. Models the WAN
+// segment and the AP's Ethernet uplink, which the paper treats as stable.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace zhuge::net {
+
+/// FIFO wired link. Packets entering while the link is busy queue in an
+/// (optionally bounded) buffer. Delivery order is preserved.
+class PointToPointLink {
+ public:
+  struct Config {
+    double rate_bps = 1e9;            ///< serialization rate
+    Duration prop_delay = Duration::millis(1);
+    std::int64_t buffer_bytes = -1;   ///< -1 = unbounded
+    Duration jitter_max = Duration::zero();  ///< uniform extra delay in [0, jitter_max]
+  };
+
+  PointToPointLink(sim::Simulator& simulator, Config cfg, PacketHandler sink)
+      : sim_(simulator), cfg_(cfg), sink_(std::move(sink)) {}
+
+  /// Offer a packet to the link. Returns false if the buffer overflowed
+  /// (packet dropped).
+  bool send(Packet p) {
+    if (cfg_.buffer_bytes >= 0 &&
+        queued_bytes_ + p.size_bytes > cfg_.buffer_bytes) {
+      ++drops_;
+      return false;
+    }
+    queued_bytes_ += p.size_bytes;
+    queue_.push_back(std::move(p));
+    if (!busy_) transmit_next();
+    return true;
+  }
+
+  /// Attach/replace the delivery sink.
+  void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
+
+  /// Provide a jitter RNG; without one, jitter_max is ignored.
+  void set_rng(sim::Rng* rng) { rng_ = rng; }
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  void transmit_next() {
+    if (queue_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    Packet p = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= p.size_bytes;
+    const Duration tx = Duration::from_seconds(
+        static_cast<double>(p.size_bytes) * 8.0 / cfg_.rate_bps);
+    sim_.schedule_after(tx, [this, p = std::move(p)]() mutable {
+      Duration extra = cfg_.prop_delay;
+      if (rng_ != nullptr && cfg_.jitter_max > Duration::zero()) {
+        extra += Duration::from_seconds(
+            rng_->uniform(0.0, cfg_.jitter_max.to_seconds()));
+      }
+      sim_.schedule_after(extra, [this, p = std::move(p)]() mutable {
+        if (sink_) sink_(std::move(p));
+      });
+      transmit_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  PacketHandler sink_;
+  sim::Rng* rng_ = nullptr;
+  std::deque<Packet> queue_;
+  std::int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace zhuge::net

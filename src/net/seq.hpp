@@ -1,0 +1,39 @@
+#pragma once
+// 16-bit sequence-number unwrapping (RTP seq and TWCC seq wrap every 65536
+// packets — a few minutes of video). The unwrapper maps the wire's uint16
+// stream onto a monotonic int64 timeline, tolerating moderate reordering.
+
+#include <cstdint>
+
+namespace zhuge::net {
+
+/// Stateful uint16 -> int64 unwrapper.
+class SeqUnwrapper {
+ public:
+  /// Unwrap the next observed value. Values within +-32768 of the previous
+  /// observation are interpreted as the nearest representative.
+  [[nodiscard]] std::int64_t unwrap(std::uint16_t seq) {
+    if (!started_) {
+      started_ = true;
+      last_ = seq;
+      return last_;
+    }
+    const auto last_wire = static_cast<std::uint16_t>(last_ & 0xFFFF);
+    const auto fwd = static_cast<std::uint16_t>(seq - last_wire);
+    const auto bwd = static_cast<std::uint16_t>(last_wire - seq);
+    if (fwd <= 0x8000) {
+      last_ += fwd;
+    } else {
+      last_ -= bwd;
+    }
+    return last_;
+  }
+
+  [[nodiscard]] bool started() const { return started_; }
+
+ private:
+  bool started_ = false;
+  std::int64_t last_ = 0;
+};
+
+}  // namespace zhuge::net

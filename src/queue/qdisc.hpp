@@ -1,0 +1,63 @@
+#pragma once
+// Queue-discipline interface for the AP downlink queue.
+//
+// Besides enqueue/dequeue, a Qdisc exposes the two instantaneous signals the
+// Zhuge Fortune Teller reads (§4.1):
+//   * byte_count()  -> cur(qSize)
+//   * head_since()  -> start of the current head packet's head-of-queue
+//                      sojourn, i.e. cur(qFrontWaitTime) = now - head_since()
+// Per-flow variants exist because real qdiscs are often not FIFO (the paper
+// notes systemd defaults to fq_codel); Zhuge must observe the RTC flow's own
+// sub-queue.
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::queue {
+
+using net::FlowId;
+using net::Packet;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Abstract queue discipline.
+class Qdisc {
+ public:
+  virtual ~Qdisc() = default;
+
+  /// Offer a packet. Returns false when the packet was dropped at enqueue
+  /// time (tail drop); CoDel-style head drops happen inside dequeue().
+  virtual bool enqueue(Packet p, TimePoint now) = 0;
+
+  /// Remove the next packet chosen by the discipline, or nullopt if empty.
+  virtual std::optional<Packet> dequeue(TimePoint now) = 0;
+
+  /// The packet that dequeue() would return next (nullptr if empty).
+  [[nodiscard]] virtual const Packet* peek() const = 0;
+
+  [[nodiscard]] virtual std::int64_t byte_count() const = 0;
+  [[nodiscard]] virtual std::size_t packet_count() const = 0;
+
+  /// Instant the current head packet became head, or nullopt if empty.
+  [[nodiscard]] virtual std::optional<TimePoint> head_since() const = 0;
+
+  /// Per-flow views; defaults fall back to whole-queue state. fq_codel
+  /// overrides these to expose the flow's own sub-queue.
+  [[nodiscard]] virtual std::int64_t byte_count_flow(const FlowId&) const {
+    return byte_count();
+  }
+  [[nodiscard]] virtual std::optional<TimePoint> head_since_flow(const FlowId&) const {
+    return head_since();
+  }
+
+  /// Total packets dropped by this discipline so far (tail + AQM drops).
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ protected:
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace zhuge::queue

@@ -1,0 +1,133 @@
+#pragma once
+// Video source/sink models for RTC flows.
+//
+// The encoder produces frames at a fixed fps whose sizes track the CCA's
+// target bitrate (the paper's setup: 1080p 24 fps, ~2 Mbps average, §7.2),
+// with log-normal per-frame size jitter and periodically larger I-frames.
+// Frame *content* is irrelevant — only sizes and timing matter for frame
+// delay / frame rate, the paper's application metrics.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "stats/distribution.hpp"
+
+namespace zhuge::rtc {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Encoder model parameters.
+struct VideoConfig {
+  double fps = 24.0;
+  double start_bitrate_bps = 1.0e6;
+  double min_bitrate_bps = 150e3;
+  /// Default profile matches the paper's §7.2 video (1080p24, average
+  /// bitrate 2 Mbps): the encoder cannot produce more than ~2.5 Mbps, so
+  /// in the un-congested steady state the flow is application-limited.
+  /// Microbenchmarks that need the CCA to fill a 30 Mbps link override it.
+  double max_bitrate_bps = 2.5e6;
+  std::uint32_t iframe_interval = 48;  ///< frames between I-frames (0 = off)
+  double iframe_ratio = 3.0;           ///< I-frame size vs P-frame size
+  double size_jitter_sigma = 0.15;     ///< log-normal sigma on frame size
+  double rate_adaptation_alpha = 0.5;  ///< encoder rate tracking smoothing
+};
+
+/// Rate-tracking frame-size generator.
+class VideoEncoder {
+ public:
+  VideoEncoder(VideoConfig cfg, sim::Rng& rng)
+      : cfg_(cfg), rng_(rng), encoder_rate_(cfg.start_bitrate_bps) {}
+
+  /// Produce the next frame's size for a CCA target bitrate. The encoder
+  /// rate moves toward the target with bounded per-frame adaptation, as
+  /// real encoders do.
+  [[nodiscard]] std::uint64_t next_frame_bytes(double target_bitrate_bps) {
+    const double clamped =
+        std::clamp(target_bitrate_bps, cfg_.min_bitrate_bps, cfg_.max_bitrate_bps);
+    encoder_rate_ += cfg_.rate_adaptation_alpha * (clamped - encoder_rate_);
+
+    double base = encoder_rate_ / cfg_.fps / 8.0;
+    const bool iframe =
+        cfg_.iframe_interval > 0 && (frame_index_ % cfg_.iframe_interval) == 0;
+    if (iframe) {
+      // I-frames are larger; P-frames shrink so the average rate holds.
+      const double n = static_cast<double>(cfg_.iframe_interval);
+      const double p_scale = n / (n - 1.0 + cfg_.iframe_ratio);
+      base *= cfg_.iframe_ratio * p_scale;
+    } else if (cfg_.iframe_interval > 0) {
+      const double n = static_cast<double>(cfg_.iframe_interval);
+      base *= n / (n - 1.0 + cfg_.iframe_ratio);
+    }
+    const double jitter = rng_.lognormal(0.0, cfg_.size_jitter_sigma) /
+                          std::exp(cfg_.size_jitter_sigma * cfg_.size_jitter_sigma / 2.0);
+    ++frame_index_;
+    return static_cast<std::uint64_t>(std::max(200.0, base * jitter));
+  }
+
+  [[nodiscard]] double encoder_rate_bps() const { return encoder_rate_; }
+  [[nodiscard]] Duration frame_interval() const {
+    return Duration::from_seconds(1.0 / cfg_.fps);
+  }
+  [[nodiscard]] const VideoConfig& config() const { return cfg_; }
+
+ private:
+  VideoConfig cfg_;
+  sim::Rng& rng_;
+  double encoder_rate_;
+  std::uint64_t frame_index_ = 0;
+};
+
+/// Receiver-side application metrics: frame delay and per-second frame
+/// rate (the paper's Fig. 11–18 y-axes).
+class FrameStats {
+ public:
+  /// Optional per-decode hook (time-series recording in the harness).
+  using DecodeObserver = std::function<void(TimePoint capture, TimePoint decode)>;
+  void set_observer(DecodeObserver obs) { observer_ = std::move(obs); }
+
+  /// Record a decoded frame: capture at the sender, decode at the receiver.
+  void on_frame_decoded(TimePoint capture_time, TimePoint decode_time) {
+    frame_delays_ms_.add((decode_time - capture_time).to_millis());
+    const auto sec = static_cast<std::size_t>(decode_time.to_seconds());
+    if (per_second_counts_.size() <= sec) per_second_counts_.resize(sec + 1, 0);
+    ++per_second_counts_[sec];
+    if (observer_) observer_(capture_time, decode_time);
+  }
+
+  /// Raw per-second decode counts (index = simulation second).
+  [[nodiscard]] const std::vector<std::uint32_t>& per_second_counts() const {
+    return per_second_counts_;
+  }
+
+  /// Frame-delay distribution in milliseconds.
+  [[nodiscard]] const stats::Distribution& frame_delays_ms() const {
+    return frame_delays_ms_;
+  }
+
+  /// Distribution of per-second decoded frame counts, over [from, to)
+  /// seconds of simulation time (skips the warm-up by default).
+  [[nodiscard]] stats::Distribution frame_rates(std::size_t from_sec,
+                                                std::size_t to_sec) const {
+    stats::Distribution d;
+    for (std::size_t s = from_sec; s < to_sec; ++s) {
+      d.add(s < per_second_counts_.size()
+                ? static_cast<double>(per_second_counts_[s])
+                : 0.0);
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::size_t frames_decoded() const {
+    return frame_delays_ms_.count();
+  }
+
+ private:
+  stats::Distribution frame_delays_ms_;
+  std::vector<std::uint32_t> per_second_counts_;
+  DecodeObserver observer_;
+};
+
+}  // namespace zhuge::rtc

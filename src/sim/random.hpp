@@ -1,0 +1,95 @@
+#pragma once
+// Deterministic pseudo-random numbers for simulations.
+//
+// A small PCG32 generator is used instead of <random> engines so that the
+// stream is identical across standard-library implementations — simulation
+// results must be bit-reproducible from a seed on any platform.
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace zhuge::sim {
+
+/// PCG32 (Melissa O'Neill) — fast, small-state, statistically solid PRNG.
+/// Deterministic for a given (seed, stream) pair.
+class Rng {
+ public:
+  /// Seed the generator. Distinct `stream` values yield independent
+  /// sequences from the same seed (used for per-component substreams).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL, std::uint64_t stream = 1) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint32_t uniform_int(std::uint32_t n) {
+    // Lemire's nearly-divisionless bounded integers.
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * n;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < n) {
+      const std::uint32_t threshold = (0u - n) % n;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * n;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast here).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 1e-12;
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Pareto with scale x_m (> 0) and shape alpha (> 0). Heavy-tailed; used
+  /// for deep-fade depths in the wireless channel model.
+  double pareto(double x_m, double alpha) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-12;
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace zhuge::sim

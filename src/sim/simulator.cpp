@@ -1,0 +1,65 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace zhuge::sim {
+
+EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration d, std::function<void()> fn) {
+  if (d < Duration::zero()) d = Duration::zero();
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past cancelled events without firing anything late.
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        queue_.pop();
+        continue;
+      }
+      break;
+    }
+    if (queue_.empty() || queue_.top().t > end) break;
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+}  // namespace zhuge::sim

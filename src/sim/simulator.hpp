@@ -1,0 +1,85 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// A Simulator owns a priority queue of timestamped callbacks. Components
+// schedule work with schedule_after()/schedule_at() and read the clock with
+// now(). Events at equal timestamps fire in scheduling order (stable), which
+// keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace zhuge::sim {
+
+/// Handle for a scheduled event; used to cancel timers. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event executor.
+///
+/// Not thread-safe by design: a simulation is a single logical timeline.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Monotonically non-decreasing across callbacks.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (clamped to now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `d` after now(). Negative delays are clamped to 0.
+  EventId schedule_after(Duration d, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty or `stop()` is called.
+  void run();
+
+  /// Run events with timestamp <= `end`, then set the clock to `end`.
+  void run_until(TimePoint end);
+
+  /// Fire the single earliest event. Returns false if the queue was empty.
+  bool step();
+
+  /// Stop a run()/run_until() loop after the current callback returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for tests and perf reporting).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending (cancelled events may be counted
+  /// until they are lazily discarded).
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimePoint t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  TimePoint now_;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace zhuge::sim

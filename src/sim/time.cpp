@@ -1,0 +1,30 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace zhuge::sim {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(ns));
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) { return format_ns(d.count_ns()); }
+std::string to_string(TimePoint t) { return format_ns(t.count_ns()); }
+
+}  // namespace zhuge::sim

@@ -1,0 +1,109 @@
+#pragma once
+// Strongly-typed simulation time.
+//
+// All simulation time is kept as signed 64-bit nanoseconds. Two distinct
+// types are used so that instants and intervals cannot be mixed up:
+//   Duration  - a length of time (may be negative, e.g. a delay delta)
+//   TimePoint - an instant measured from simulation start (t = 0)
+//
+// The usual arithmetic holds: TimePoint - TimePoint = Duration,
+// TimePoint + Duration = TimePoint, Duration +- Duration = Duration.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace zhuge::sim {
+
+/// A length of simulation time in nanoseconds. Value-semantic, trivially
+/// copyable, totally ordered. May be negative.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  /// Construct from a raw nanosecond count. Prefer the named factories.
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t v) { return Duration{v}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) { return Duration{v * 1000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t v) { return Duration{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  /// Construct from fractional seconds (rounds toward zero).
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr Duration from_millis(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  /// The zero-length duration.
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  /// A duration longer than any simulation will run.
+  [[nodiscard]] static constexpr Duration infinite() {
+    return Duration{std::numeric_limits<std::int64_t>::max() / 4};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  /// Scale. A single double overload avoids int/double ambiguity; values
+  /// used in this codebase (< hours) are exactly representable.
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  /// Ratio of two durations as a double; divisor must be nonzero.
+  [[nodiscard]] constexpr double ratio(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An instant in simulation time, measured from simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max() / 2};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.count_ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.count_ns()}; }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.count_ns(); return *this; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns_ - o.ns_}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Human-readable rendering, e.g. "12.345ms", for logs and test output.
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanos(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::micros(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::millis(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::seconds(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace zhuge::sim

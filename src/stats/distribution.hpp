@@ -1,0 +1,136 @@
+#pragma once
+// Offline sample accumulators: percentiles, tail ratios, CDF export,
+// histograms. Used by the benchmark harness to print the paper's rows.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace zhuge::stats {
+
+/// Accumulates double samples; answers quantile / tail-ratio queries.
+/// Sorting is lazy and cached.
+class Distribution {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// Quantile by linear interpolation; q in [0, 1].
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  [[nodiscard]] double min() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+  [[nodiscard]] double max() const {
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+
+  /// Fraction of samples strictly above `threshold` (the paper's tail
+  /// ratios, e.g. P(RTT > 200 ms)).
+  [[nodiscard]] double ratio_above(double threshold) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+    return static_cast<double>(samples_.end() - it) / static_cast<double>(samples_.size());
+  }
+
+  /// Fraction of samples strictly below `threshold` (e.g. P(fps < 10)).
+  [[nodiscard]] double ratio_below(double threshold) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const auto it = std::lower_bound(samples_.begin(), samples_.end(), threshold);
+    return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+  }
+
+  /// Complementary CDF value at x: P(sample > x).
+  [[nodiscard]] double ccdf(double x) const { return ratio_above(x); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bin 2-D histogram used for the Fig. 19 estimated-vs-real heatmap.
+class Heatmap2D {
+ public:
+  /// Log2-spaced bins from `lo` to `hi` on both axes (values clamped).
+  Heatmap2D(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins), cells_(bins * bins, 0) {}
+
+  void add(double x, double y) {
+    ++cells_[bin(y) * bins_ + bin(x)];
+  }
+
+  [[nodiscard]] std::size_t bin(double v) const {
+    const double c = std::clamp(v, lo_, hi_);
+    const double f = std::log2(c / lo_) / std::log2(hi_ / lo_);
+    return std::min(bins_ - 1, static_cast<std::size_t>(f * static_cast<double>(bins_)));
+  }
+
+  /// Lower edge of bin i (log2 spacing).
+  [[nodiscard]] double bin_edge(std::size_t i) const {
+    return lo_ * std::pow(hi_ / lo_, static_cast<double>(i) / static_cast<double>(bins_));
+  }
+
+  [[nodiscard]] std::size_t bins() const { return bins_; }
+  [[nodiscard]] std::uint64_t cell(std::size_t xi, std::size_t yi) const {
+    return cells_[yi * bins_ + xi];
+  }
+
+  /// Row-normalised cell value (the paper normalises per real-delay row).
+  [[nodiscard]] double cell_row_normalised(std::size_t xi, std::size_t yi) const {
+    std::uint64_t row = 0;
+    for (std::size_t x = 0; x < bins_; ++x) row += cells_[yi * bins_ + x];
+    if (row == 0) return 0.0;
+    return static_cast<double>(cells_[yi * bins_ + xi]) / static_cast<double>(row);
+  }
+
+ private:
+  double lo_, hi_;
+  std::size_t bins_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace zhuge::stats

@@ -1,0 +1,88 @@
+#pragma once
+// Time-series recording and the degradation-duration metric used in the
+// paper's microbenchmarks (Fig. 4, 14, 15, 16): "duration of RTT > 200 ms",
+// i.e. total time a sampled signal spends above a threshold until it has
+// re-converged.
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace zhuge::stats {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Append-only (time, value) series with threshold-duration analysis.
+class TimeSeries {
+ public:
+  struct Point {
+    TimePoint t;
+    double value;
+  };
+
+  void record(TimePoint t, double value) { points_.push_back({t, value}); }
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Total time the piecewise-constant signal (sample-and-hold) spends
+  /// strictly above `threshold` within [from, to].
+  [[nodiscard]] Duration time_above(double threshold, TimePoint from, TimePoint to) const {
+    Duration total = Duration::zero();
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const TimePoint start = std::max(points_[i].t, from);
+      const TimePoint end =
+          std::min(i + 1 < points_.size() ? points_[i + 1].t : to, to);
+      if (end <= start) continue;
+      if (points_[i].value > threshold) total += end - start;
+    }
+    return total;
+  }
+
+  /// As time_above but for values strictly below the threshold.
+  [[nodiscard]] Duration time_below(double threshold, TimePoint from, TimePoint to) const {
+    Duration total = Duration::zero();
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const TimePoint start = std::max(points_[i].t, from);
+      const TimePoint end =
+          std::min(i + 1 < points_.size() ? points_[i + 1].t : to, to);
+      if (end <= start) continue;
+      if (points_[i].value < threshold) total += end - start;
+    }
+    return total;
+  }
+
+  /// Last instant (within [from, to]) at which the signal was above the
+  /// threshold — the paper's re-convergence point after a bandwidth drop.
+  /// Returns `from` when the signal never exceeded the threshold.
+  [[nodiscard]] TimePoint last_above(double threshold, TimePoint from, TimePoint to) const {
+    TimePoint last = from;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].t < from || points_[i].t > to) continue;
+      if (points_[i].value > threshold) {
+        const TimePoint end =
+            std::min(i + 1 < points_.size() ? points_[i + 1].t : to, to);
+        last = end;
+      }
+    }
+    return last;
+  }
+
+  /// Mean of samples within [from, to].
+  [[nodiscard]] double mean(TimePoint from, TimePoint to) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : points_) {
+      if (p.t < from || p.t > to) continue;
+      sum += p.value;
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace zhuge::stats

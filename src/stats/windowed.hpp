@@ -1,0 +1,244 @@
+#pragma once
+// Sliding-window estimators over timestamped samples.
+//
+// These are the measurement primitives from §4 of the paper: avg(txRate)
+// and avg(dequeueIntvl) are computed over a sliding window (40 ms by
+// default), while cur(...) values are read directly from the queue.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::stats {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Rate of a byte-counted event stream over a trailing time window.
+///
+/// record(t, bytes) on every departure; rate_bps(t) returns the average
+/// bits/second over the last `window`. Returns nullopt until at least two
+/// samples span a non-zero interval.
+class WindowedRate {
+ public:
+  explicit WindowedRate(Duration window) : window_(window) {}
+
+  void record(TimePoint t, std::int64_t bytes) {
+    samples_.push_back({t, bytes});
+    total_bytes_ += bytes;
+    evict(t);
+  }
+
+  /// Average rate in bits per second over the trailing window, or nullopt
+  /// if the window holds no data.
+  [[nodiscard]] std::optional<double> rate_bps(TimePoint now) {
+    evict(now);
+    if (samples_.empty()) return std::nullopt;
+    // Measure over the full window so quiet periods drag the rate down —
+    // a stalled channel must read as a *low* rate, not as "no data".
+    const double secs = window_.to_seconds();
+    if (secs <= 0.0) return std::nullopt;
+    return static_cast<double>(total_bytes_) * 8.0 / secs;
+  }
+
+  [[nodiscard]] Duration window() const { return window_; }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    TimePoint t;
+    std::int64_t bytes;
+  };
+  void evict(TimePoint now) {
+    const TimePoint cutoff = now - window_;
+    while (!samples_.empty() && samples_.front().t < cutoff) {
+      total_bytes_ -= samples_.front().bytes;
+      samples_.pop_front();
+    }
+  }
+
+  Duration window_;
+  std::deque<Sample> samples_;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// Mean of real-valued samples over a trailing time window.
+class WindowedMean {
+ public:
+  explicit WindowedMean(Duration window) : window_(window) {}
+
+  void record(TimePoint t, double value) {
+    samples_.push_back({t, value});
+    sum_ += value;
+    evict(t);
+  }
+
+  [[nodiscard]] std::optional<double> mean(TimePoint now) {
+    evict(now);
+    if (samples_.empty()) return std::nullopt;
+    return sum_ / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] std::optional<double> max(TimePoint now) {
+    evict(now);
+    if (samples_.empty()) return std::nullopt;
+    double m = samples_.front().value;
+    for (const auto& s : samples_) m = std::max(m, s.value);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    TimePoint t;
+    double value;
+  };
+  void evict(TimePoint now) {
+    const TimePoint cutoff = now - window_;
+    while (!samples_.empty() && samples_.front().t < cutoff) {
+      sum_ -= samples_.front().value;
+      samples_.pop_front();
+    }
+  }
+
+  Duration window_;
+  std::deque<Sample> samples_;
+  double sum_ = 0.0;
+};
+
+/// Maximum over a trailing time window (monotonic-deque implementation).
+/// Used for maxBurstSize in the Fortune Teller's Eq. 1 adjustment.
+class WindowedMax {
+ public:
+  explicit WindowedMax(Duration window) : window_(window) {}
+
+  void record(TimePoint t, double value) {
+    while (!deque_.empty() && deque_.back().value <= value) deque_.pop_back();
+    deque_.push_back({t, value});
+    evict(t);
+  }
+
+  [[nodiscard]] double max(TimePoint now, double fallback = 0.0) {
+    evict(now);
+    return deque_.empty() ? fallback : deque_.front().value;
+  }
+
+ private:
+  struct Sample {
+    TimePoint t;
+    double value;
+  };
+  void evict(TimePoint now) {
+    const TimePoint cutoff = now - window_;
+    while (!deque_.empty() && deque_.front().t < cutoff) deque_.pop_front();
+  }
+
+  Duration window_;
+  std::deque<Sample> deque_;
+};
+
+/// Minimum over a trailing time window (e.g. min-RTT filters in CCAs).
+class WindowedMin {
+ public:
+  explicit WindowedMin(Duration window) : window_(window) {}
+
+  void record(TimePoint t, double value) {
+    while (!deque_.empty() && deque_.back().value >= value) deque_.pop_back();
+    deque_.push_back({t, value});
+    evict(t);
+  }
+
+  [[nodiscard]] std::optional<double> min(TimePoint now) {
+    evict(now);
+    if (deque_.empty()) return std::nullopt;
+    return deque_.front().value;
+  }
+
+ private:
+  struct Sample {
+    TimePoint t;
+    double value;
+  };
+  void evict(TimePoint now) {
+    const TimePoint cutoff = now - window_;
+    while (!deque_.empty() && deque_.front().t < cutoff) deque_.pop_front();
+  }
+
+  Duration window_;
+  std::deque<Sample> deque_;
+};
+
+/// A trailing-window bag of samples supporting uniform random draws.
+/// This backs the paper's delta-distribution sampling (§5.2): feedback
+/// packets are delayed by a value drawn from the recent delay-delta
+/// distribution, giving distributional rather than per-packet equivalence.
+class WindowedSampler {
+ public:
+  explicit WindowedSampler(Duration window) : window_(window) {}
+
+  void record(TimePoint t, double value) {
+    samples_.push_back({t, value});
+    evict(t);
+  }
+
+  /// Uniformly draw one of the samples currently inside the window.
+  [[nodiscard]] std::optional<double> sample(TimePoint now, sim::Rng& rng) {
+    evict(now);
+    if (samples_.empty()) return std::nullopt;
+    const auto idx = rng.uniform_int(static_cast<std::uint32_t>(samples_.size()));
+    return samples_[idx].value;
+  }
+
+  [[nodiscard]] std::optional<double> mean(TimePoint now) {
+    evict(now);
+    if (samples_.empty()) return std::nullopt;
+    double s = 0.0;
+    for (const auto& x : samples_) s += x.value;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    TimePoint t;
+    double value;
+  };
+  void evict(TimePoint now) {
+    const TimePoint cutoff = now - window_;
+    while (!samples_.empty() && samples_.front().t < cutoff) samples_.pop_front();
+  }
+
+  Duration window_;
+  std::deque<Sample> samples_;
+};
+
+/// Classic exponentially-weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void record(double value) {
+    if (!has_value_) {
+      value_ = value;
+      has_value_ = true;
+    } else {
+      value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+  }
+
+  [[nodiscard]] bool has_value() const { return has_value_; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { has_value_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+}  // namespace zhuge::stats

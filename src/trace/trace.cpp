@@ -1,0 +1,72 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace zhuge::trace {
+
+double Trace::rate_at(TimePoint t) const {
+  if (samples_.empty()) return 0.0;
+  if (samples_.size() == 1) return samples_.front().rate_bps;
+  const std::int64_t span_ns = span().count_ns();
+  std::int64_t ns = t.count_ns();
+  if (span_ns > 0 && ns >= span_ns) ns %= span_ns;  // loop
+  const TimePoint wrapped{ns};
+  // Last sample with time <= wrapped.
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), wrapped,
+      [](TimePoint v, const Sample& s) { return v < s.t; });
+  if (it == samples_.begin()) return samples_.front().rate_bps;
+  return std::prev(it)->rate_bps;
+}
+
+Duration Trace::span() const {
+  if (samples_.size() < 2) return Duration::zero();
+  // Assume uniform spacing for the trailing step.
+  const Duration step = samples_[1].t - samples_[0].t;
+  return (samples_.back().t - samples_.front().t) + step;
+}
+
+double Trace::mean_rate_bps() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& x : samples_) s += x.rate_bps;
+  return s / static_cast<double>(samples_.size());
+}
+
+Trace load_csv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  std::vector<Trace::Sample> samples;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    double t_ms = 0.0;
+    double mbps = 0.0;
+    char comma = 0;
+    if (!(ss >> t_ms >> comma >> mbps) || comma != ',') {
+      throw std::runtime_error("trace: malformed line " + std::to_string(lineno) +
+                               " in " + path);
+    }
+    samples.push_back({TimePoint{static_cast<std::int64_t>(t_ms * 1e6)}, mbps * 1e6});
+  }
+  if (samples.empty()) throw std::runtime_error("trace: empty file " + path);
+  return Trace{name, std::move(samples)};
+}
+
+void save_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  out.precision(12);  // lossless enough for ns-resolution round-trips
+  out << "# time_ms,rate_mbps  (" << trace.name() << ")\n";
+  for (const auto& s : trace.samples()) {
+    out << s.t.to_millis() << "," << s.rate_bps / 1e6 << "\n";
+  }
+}
+
+}  // namespace zhuge::trace

@@ -1,0 +1,107 @@
+#pragma once
+// RTP receiver: jitter buffer with in-order decode, TWCC feedback
+// construction (the packets Zhuge drops and replaces, §5.3), NACK-based
+// loss recovery, and periodic receiver reports.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "net/packet.hpp"
+#include "net/seq.hpp"
+#include "rtc/video.hpp"
+#include "sim/simulator.hpp"
+
+namespace zhuge::transport {
+
+using net::Packet;
+using net::PacketHandler;
+using sim::Duration;
+using sim::TimePoint;
+
+/// RTP receiver half.
+class RtpReceiver {
+ public:
+  struct Config {
+    std::uint32_t ssrc = 1;
+    Duration twcc_interval = Duration::millis(25);
+    Duration nack_retry_interval = Duration::millis(30);
+    int max_nack_retries = 10;
+    Duration rr_interval = Duration::millis(500);
+    std::uint32_t rtcp_bytes = 80;
+    /// A head-of-line frame older than this is abandoned (decoder resync;
+    /// real decoders recover at the next I-frame). Skipped frames are not
+    /// counted as decoded, so stalls show up in the frame-rate metric.
+    Duration stall_timeout = Duration::seconds(2);
+  };
+
+  RtpReceiver(sim::Simulator& simulator, Config cfg, net::PacketUidSource& uids,
+              PacketHandler rtcp_out, rtc::FrameStats& stats)
+      : sim_(simulator),
+        cfg_(cfg),
+        uids_(uids),
+        rtcp_out_(std::move(rtcp_out)),
+        stats_(stats) {
+    arm_timers();
+  }
+
+  /// Process one downlink RTP packet.
+  void on_rtp(const Packet& p);
+
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t nacks_sent() const { return nacks_sent_; }
+  [[nodiscard]] std::uint32_t next_decode_frame() const { return next_decode_frame_; }
+
+ private:
+  void arm_timers();
+  void arm_timers_twcc();
+  void arm_timers_nack();
+  void arm_timers_rr();
+  void send_twcc();
+  void send_nacks();
+  void send_rr();
+  void try_decode();
+  void maybe_skip_stalled();
+  Packet make_rtcp(net::RtcpHeader h);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  net::PacketUidSource& uids_;
+  PacketHandler rtcp_out_;
+  rtc::FrameStats& stats_;
+
+  net::FlowId reverse_flow_;  ///< learned from the first RTP packet
+  bool flow_known_ = false;
+
+  // TWCC bookkeeping.
+  std::vector<net::TwccFeedback::Entry> pending_twcc_;
+
+  // Frame reassembly: frame_id -> (packets received, total, capture).
+  struct FrameState {
+    std::set<std::uint16_t> received;
+    std::uint16_t total = 0;
+    TimePoint capture;
+    TimePoint first_arrival;
+    bool seen = false;
+  };
+  std::map<std::uint32_t, FrameState> frames_;
+  std::uint32_t next_decode_frame_ = 0;
+
+  // Loss detection / NACK, on unwrapped RTP sequence numbers.
+  net::SeqUnwrapper rtp_unwrap_;
+  std::int64_t highest_rtp_ = -1;
+  struct NackState {
+    int retries = 0;
+    TimePoint last_sent;
+  };
+  std::map<std::int64_t, NackState> missing_;
+
+  // Receiver-report accounting over the current RR interval.
+  std::uint64_t interval_received_ = 0;
+  std::int64_t interval_expected_base_ = -1;
+
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+};
+
+}  // namespace zhuge::transport

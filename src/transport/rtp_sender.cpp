@@ -1,0 +1,194 @@
+#include "transport/rtp_sender.hpp"
+
+#include <algorithm>
+
+namespace zhuge::transport {
+
+RtpSender::RtpSender(sim::Simulator& simulator, sim::Rng& rng, net::FlowId flow,
+                     Config cfg, net::PacketUidSource& uids, PacketHandler out)
+    : sim_(simulator),
+      rng_(rng),
+      flow_(flow),
+      cfg_(cfg),
+      uids_(uids),
+      out_(std::move(out)),
+      encoder_(cfg.video, rng),
+      gcc_(cfg.gcc),
+      nada_(cfg.nada),
+      scream_(cfg.scream) {}
+
+void RtpSender::start() { on_frame_tick(); }
+
+double RtpSender::target_rate_bps() const {
+  switch (cfg_.rate_controller) {
+    case RtpCca::kGcc: return gcc_.target_rate_bps();
+    case RtpCca::kNada: return nada_.target_rate_bps();
+    case RtpCca::kScream: return scream_.target_rate_bps();
+  }
+  return gcc_.target_rate_bps();
+}
+
+void RtpSender::on_frame_tick() {
+  const TimePoint capture = sim_.now();
+  const std::uint64_t frame_bytes = encoder_.next_frame_bytes(target_rate_bps());
+  const std::uint32_t frame_id = next_frame_id_++;
+  ++frames_sent_;
+
+  const auto n_packets = static_cast<std::uint16_t>(
+      (frame_bytes + cfg_.max_payload - 1) / cfg_.max_payload);
+  std::uint64_t remaining = frame_bytes;
+  for (std::uint16_t i = 0; i < n_packets; ++i) {
+    const auto payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.max_payload, remaining));
+    remaining -= payload;
+
+    Packet p;
+    p.uid = uids_.next();
+    p.flow = flow_;
+    p.size_bytes = payload + cfg_.header_bytes;
+    p.sent_time = sim_.now();
+    net::RtpHeader h;
+    h.ssrc = cfg_.ssrc;
+    h.seq = next_rtp_seq_++;
+    h.twcc_seq = next_twcc_seq_++;
+    h.frame_id = frame_id;
+    h.packet_in_frame = i;
+    h.packets_in_frame = n_packets;
+    h.marker = (i + 1 == n_packets);
+    h.capture_time = capture;
+    p.header = h;
+
+    // Spread the frame's packets over a short pacing span (senders burst
+    // frames out quickly to minimise latency, §3.1).
+    const Duration offset =
+        n_packets > 1 ? cfg_.pacing_span * (static_cast<double>(i) /
+                                            static_cast<double>(n_packets))
+                      : Duration::zero();
+    send_packet(std::move(p), offset);
+  }
+
+  sim_.schedule_after(encoder_.frame_interval(), [this] { on_frame_tick(); });
+}
+
+void RtpSender::send_packet(Packet p, Duration offset) {
+  // Record send history at the *scheduled* departure time.
+  const TimePoint departure = sim_.now() + offset;
+  ++rtp_sent_unwrapped_;
+  ++twcc_sent_unwrapped_;
+  const std::int64_t rtp_unwrapped = rtp_sent_unwrapped_;
+  twcc_history_[twcc_sent_unwrapped_] = {departure, p.size_bytes};
+
+  rtp_history_[rtp_unwrapped] = p;  // copy for possible retransmission
+  rtp_history_order_.push_back(rtp_unwrapped);
+  while (rtp_history_order_.size() > cfg_.history_packets) {
+    rtp_history_.erase(rtp_history_order_.front());
+    rtp_history_order_.pop_front();
+  }
+  // Bound the TWCC history alongside.
+  if (twcc_history_.size() > 4 * cfg_.history_packets) {
+    const std::int64_t cutoff =
+        twcc_sent_unwrapped_ - static_cast<std::int64_t>(2 * cfg_.history_packets);
+    std::erase_if(twcc_history_,
+                  [cutoff](const auto& kv) { return kv.first < cutoff; });
+  }
+
+  ++packets_sent_;
+  if (offset == Duration::zero()) {
+    out_(std::move(p));
+  } else {
+    sim_.schedule_after(offset, [this, pkt = std::move(p)]() mutable {
+      pkt.sent_time = sim_.now();
+      out_(std::move(pkt));
+    });
+  }
+}
+
+void RtpSender::on_rtcp(const Packet& p) {
+  const auto& payload = p.rtcp().payload;
+  if (const auto* fb = std::get_if<net::TwccFeedback>(&payload)) {
+    handle_twcc(*fb);
+  } else if (const auto* nack = std::get_if<net::RtcpNack>(&payload)) {
+    handle_nack(*nack);
+  } else if (const auto* rr = std::get_if<net::RtcpReceiverReport>(&payload)) {
+    last_loss_fraction_ = rr->loss_fraction;
+    gcc_.on_loss_report(rr->loss_fraction, sim_.now());
+  }
+}
+
+void RtpSender::handle_twcc(const net::TwccFeedback& fb) {
+  std::vector<cca::TwccObservation> obs;
+  obs.reserve(fb.entries.size());
+  std::int64_t min_seq = INT64_MAX;
+  std::int64_t max_seq = INT64_MIN;
+  for (const auto& e : fb.entries) {
+    const std::int64_t unwrapped = twcc_unwrap_rx_.unwrap(e.twcc_seq);
+    min_seq = std::min(min_seq, unwrapped);
+    max_seq = std::max(max_seq, unwrapped);
+    const auto it = twcc_history_.find(unwrapped);
+    if (it == twcc_history_.end()) continue;
+    cca::TwccObservation o;
+    o.twcc_seq = e.twcc_seq;
+    o.send_time = it->second.send_time;
+    o.recv_time = e.recv_time;
+    o.size_bytes = it->second.size_bytes;
+    obs.push_back(o);
+  }
+  if (obs.empty()) return;
+  std::sort(obs.begin(), obs.end(), [](const auto& a, const auto& b) {
+    return a.send_time < b.send_time;
+  });
+
+  // Transport-wide loss: sequence gaps between consecutive feedback ranges
+  // are packets the path dropped (tail drops stay visible under Zhuge
+  // because the AP never reports packets it discarded).
+  if (twcc_loss_base_ >= 0 && max_seq >= twcc_loss_base_) {
+    const auto expected = static_cast<double>(max_seq - twcc_loss_base_ + 1);
+    const auto received = static_cast<double>(fb.entries.size());
+    const double loss =
+        expected > 0 ? std::max(0.0, 1.0 - received / expected) : 0.0;
+    // Smooth across feedbacks (one report covers ~25 ms only).
+    last_loss_fraction_ = 0.7 * last_loss_fraction_ + 0.3 * loss;
+    gcc_.on_loss_report(last_loss_fraction_, sim_.now());
+  }
+  twcc_loss_base_ = max_seq + 1;
+
+  switch (cfg_.rate_controller) {
+    case RtpCca::kGcc:
+      gcc_.on_feedback(obs, sim_.now());
+      break;
+    case RtpCca::kNada:
+      nada_.on_feedback(obs, last_loss_fraction_, sim_.now());
+      break;
+    case RtpCca::kScream:
+      scream_.on_feedback(obs, last_loss_fraction_, sim_.now());
+      break;
+  }
+}
+
+void RtpSender::handle_nack(const net::RtcpNack& nack) {
+  const double rtx_budget_bps = cfg_.max_rtx_rate_fraction * target_rate_bps();
+  for (std::uint16_t seq : nack.seqs) {
+    if (rtx_rate_.rate_bps(sim_.now()).value_or(0.0) > rtx_budget_bps) {
+      // Retransmission budget exhausted; the receiver will NACK again.
+      ++rtx_suppressed_;
+      continue;
+    }
+    const std::int64_t unwrapped = rtp_unwrap_rx_.unwrap(seq);
+    const auto it = rtp_history_.find(unwrapped);
+    if (it == rtp_history_.end()) continue;
+    Packet rtx = it->second;
+    rtx.uid = uids_.next();
+    rtx.sent_time = sim_.now();
+    rtx.rtp().retransmission = true;
+    // Retransmissions travel with fresh TWCC sequence numbers.
+    rtx.rtp().twcc_seq = next_twcc_seq_++;
+    ++twcc_sent_unwrapped_;
+    twcc_history_[twcc_sent_unwrapped_] = {sim_.now(), rtx.size_bytes};
+    ++retransmissions_;
+    ++packets_sent_;
+    rtx_rate_.record(sim_.now(), rtx.size_bytes);
+    out_(std::move(rtx));
+  }
+}
+
+}  // namespace zhuge::transport

@@ -1,0 +1,119 @@
+#pragma once
+// RTP media sender with transport-wide congestion control (in-band
+// feedback, §5.1/§5.3). Encodes frames at the CCA's target bitrate,
+// packetises them into RTP packets carrying TWCC sequence numbers, keeps a
+// send history for TWCC reconstruction and NACK retransmission, and feeds
+// TWCC reports into GCC (or NADA).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "cca/gcc.hpp"
+#include "cca/nada.hpp"
+#include "cca/scream.hpp"
+#include "net/packet.hpp"
+#include "net/seq.hpp"
+#include "stats/windowed.hpp"
+#include "rtc/video.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace zhuge::transport {
+
+using net::Packet;
+using net::PacketHandler;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Which rate controller drives the encoder.
+enum class RtpCca : std::uint8_t { kGcc, kNada, kScream };
+
+/// RTP sender: video pipeline + congestion control.
+class RtpSender {
+ public:
+  struct Config {
+    std::uint32_t ssrc = 1;
+    std::uint32_t max_payload = 1200;
+    std::uint32_t header_bytes = 40;  ///< IP+UDP+RTP overhead
+    rtc::VideoConfig video{};
+    cca::Gcc::Config gcc{};
+    cca::Nada::Config nada{};
+    cca::Scream::Config scream{};
+    RtpCca rate_controller = RtpCca::kGcc;
+    std::size_t history_packets = 2048;  ///< NACK retransmission depth
+    Duration pacing_span = Duration::millis(5);  ///< frame burst spread
+    /// Retransmissions may use at most this fraction of the target rate
+    /// (measured over rtx_rate_window). Without the cap, a loss burst
+    /// turns the NACK machinery into an unbounded retransmission storm
+    /// that keeps the bottleneck queue pinned full no matter what the
+    /// congestion controller decides.
+    double max_rtx_rate_fraction = 0.25;
+    Duration rtx_rate_window = Duration::millis(200);
+  };
+
+  RtpSender(sim::Simulator& simulator, sim::Rng& rng, net::FlowId flow,
+            Config cfg, net::PacketUidSource& uids, PacketHandler out);
+
+  /// Begin producing frames (call once).
+  void start();
+
+  /// Process an uplink RTCP packet (TWCC feedback, NACK, or RR).
+  void on_rtcp(const Packet& p);
+
+  [[nodiscard]] double target_rate_bps() const;
+  [[nodiscard]] double encoder_rate_bps() const { return encoder_.encoder_rate_bps(); }
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t rtx_suppressed() const { return rtx_suppressed_; }
+  [[nodiscard]] const cca::Gcc& gcc() const { return gcc_; }
+
+ private:
+  void on_frame_tick();
+  void send_packet(Packet p, Duration offset);
+  void handle_twcc(const net::TwccFeedback& fb);
+  void handle_nack(const net::RtcpNack& nack);
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  net::FlowId flow_;
+  Config cfg_;
+  net::PacketUidSource& uids_;
+  PacketHandler out_;
+
+  rtc::VideoEncoder encoder_;
+  cca::Gcc gcc_;
+  cca::Nada nada_;
+  cca::Scream scream_;
+
+  std::uint16_t next_rtp_seq_ = 0;
+  std::uint16_t next_twcc_seq_ = 0;
+  std::uint32_t next_frame_id_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+
+  struct SendRecord {
+    TimePoint send_time;
+    std::uint32_t size_bytes = 0;
+  };
+  /// TWCC send history keyed by *unwrapped* TWCC sequence.
+  std::unordered_map<std::int64_t, SendRecord> twcc_history_;
+  net::SeqUnwrapper twcc_unwrap_rx_;  ///< unwraps seqs in feedback
+  std::int64_t twcc_sent_unwrapped_ = -1;
+
+  /// Packet history for NACK retransmission, keyed by unwrapped RTP seq.
+  std::unordered_map<std::int64_t, Packet> rtp_history_;
+  std::deque<std::int64_t> rtp_history_order_;
+  net::SeqUnwrapper rtp_unwrap_rx_;
+  std::int64_t rtp_sent_unwrapped_ = -1;
+
+  double last_loss_fraction_ = 0.0;
+  std::int64_t twcc_loss_base_ = 0;  ///< next expected unwrapped TWCC seq
+  stats::WindowedRate rtx_rate_{sim::Duration::millis(200)};
+  std::uint64_t rtx_suppressed_ = 0;
+};
+
+}  // namespace zhuge::transport

@@ -1,0 +1,196 @@
+#include "transport/tcp_sender.hpp"
+
+#include <algorithm>
+
+namespace zhuge::transport {
+
+void TcpSender::write_frame(std::uint32_t frame_id, TimePoint capture_time,
+                            std::uint64_t bytes) {
+  const std::uint64_t end = next_frame_start_ + bytes;
+  app_queue_.push_back({frame_id, capture_time, bytes, end});
+  next_frame_start_ = end;
+  backlog_bytes_ += bytes;
+  try_send();
+}
+
+Duration TcpSender::current_rto() const {
+  Duration rto = cfg_.min_rto;
+  if (srtt_ > Duration::zero()) {
+    rto = std::max(cfg_.min_rto, srtt_ + rttvar_ * 4.0);
+  }
+  for (int i = 0; i < rto_backoff_; ++i) rto = rto * 2.0;
+  return std::min(rto, cfg_.max_rto);
+}
+
+void TcpSender::arm_rto() {
+  if (rto_timer_ != 0) sim_.cancel(rto_timer_);
+  rto_timer_ = 0;
+  if (in_flight_.empty()) return;
+  rto_timer_ = sim_.schedule_after(current_rto(), [this] {
+    rto_timer_ = 0;
+    on_rto_fired();
+  });
+}
+
+void TcpSender::on_rto_fired() {
+  if (in_flight_.empty()) return;
+  ++rto_backoff_;
+  cca_->on_rto(sim_.now());
+  retransmit_first_unacked();
+  arm_rto();
+}
+
+void TcpSender::retransmit_first_unacked() {
+  auto it = in_flight_.begin();
+  if (it == in_flight_.end()) return;
+  ++it->second.transmissions;
+  ++retransmissions_;
+  send_segment(it->first, it->second, /*retransmit=*/true);
+}
+
+void TcpSender::send_segment(std::uint64_t seq, const SentSegment& meta,
+                             bool retransmit) {
+  Packet p;
+  p.uid = uids_.next();
+  p.flow = flow_;
+  p.size_bytes = static_cast<std::uint32_t>(meta.end_seq - seq) + cfg_.header_bytes;
+  p.sent_time = sim_.now();
+  net::TcpHeader h;
+  h.seq = seq;
+  h.end_seq = meta.end_seq;
+  h.ts_val = static_cast<std::uint64_t>(sim_.now().count_ns());
+  h.frame_id = meta.frame_id;
+  h.frame_end_seq = meta.frame_end_seq;
+  h.capture_time = meta.capture_time;
+  p.header = h;
+  if (!retransmit) {
+    // Already accounted by caller.
+  }
+  out_(std::move(p));
+}
+
+void TcpSender::try_send() {
+  const TimePoint now = sim_.now();
+  const double pace = cca_->pacing_rate_bps();
+
+  while (backlog_bytes_ > 0) {
+    if (bytes_in_flight_ + cfg_.mss > cca_->cwnd_bytes()) return;  // window-limited
+    if (pace > 0.0 && next_send_time_ > now) {
+      arm_pacing_timer(next_send_time_);
+      return;
+    }
+
+    FrameChunk& chunk = app_queue_.front();
+    const std::uint64_t take =
+        std::min<std::uint64_t>(cfg_.mss, chunk.remaining);
+    SentSegment seg;
+    seg.end_seq = next_seq_ + take;
+    seg.sent_time = now;
+    seg.frame_id = chunk.frame_id;
+    seg.capture_time = chunk.capture_time;
+    seg.frame_end_seq = chunk.end_seq;
+
+    in_flight_.emplace(next_seq_, seg);
+    bytes_in_flight_ += take;
+    backlog_bytes_ -= take;
+    chunk.remaining -= take;
+    if (chunk.remaining == 0) app_queue_.pop_front();
+
+    send_segment(next_seq_, seg, /*retransmit=*/false);
+    next_seq_ = seg.end_seq;
+
+    if (pace > 0.0) {
+      next_send_time_ =
+          std::max(next_send_time_, now) +
+          Duration::from_seconds(static_cast<double>(take + cfg_.header_bytes) * 8.0 / pace);
+    }
+    if (rto_timer_ == 0) arm_rto();
+  }
+}
+
+void TcpSender::arm_pacing_timer(TimePoint when) {
+  if (pacing_timer_ != 0) return;  // already armed
+  pacing_timer_ = sim_.schedule_at(when, [this] {
+    pacing_timer_ = 0;
+    try_send();
+  });
+}
+
+void TcpSender::on_ack(const Packet& ack) {
+  const TimePoint now = sim_.now();
+  const net::TcpHeader& h = ack.tcp();
+
+  // RTT sample via timestamp echo; valid because the receiver echoes the
+  // ts of the segment that triggered this ACK (Karn-safe for first
+  // transmissions; retransmitted segments carry a fresh ts_val, so echo
+  // ambiguity only inflates, never deflates).
+  Duration rtt = Duration::zero();
+  if (h.ts_echo != 0) {
+    rtt = now - TimePoint{static_cast<std::int64_t>(h.ts_echo)};
+    if (rtt > Duration::zero()) {
+      if (rtt_observer_) rtt_observer_(rtt, now);
+      if (srtt_ == Duration::zero()) {
+        srtt_ = rtt;
+        rttvar_ = rtt * 0.5;
+      } else {
+        const Duration err = rtt >= srtt_ ? rtt - srtt_ : srtt_ - rtt;
+        rttvar_ = rttvar_ * 0.75 + err * 0.25;
+        srtt_ = srtt_ * 0.875 + rtt * 0.125;
+      }
+    }
+  }
+
+  // Cumulative ACK: drop fully-acked segments.
+  std::uint64_t newly_acked = 0;
+  while (!in_flight_.empty()) {
+    auto it = in_flight_.begin();
+    if (it->second.end_seq > h.ack) break;
+    newly_acked += it->second.end_seq - it->first;
+    in_flight_.erase(it);
+  }
+  if (newly_acked > 0) {
+    bytes_in_flight_ -= std::min(bytes_in_flight_, newly_acked);
+    snd_una_ = h.ack;
+    delivered_rate_.record(now, static_cast<std::int64_t>(newly_acked));
+    rto_backoff_ = 0;
+    dupacks_ = 0;
+    arm_rto();
+    // NewReno partial ACK: while in recovery, an ACK that advances
+    // snd_una but leaves older data outstanding exposes the next hole —
+    // retransmit it immediately instead of waiting out an RTO per hole
+    // (an RTO-per-hole cascade is a death spiral under bursty loss).
+    if (snd_una_ < recovery_until_ && !in_flight_.empty() &&
+        in_flight_.begin()->first < h.sack_upto) {
+      ++in_flight_.begin()->second.transmissions;
+      ++retransmissions_;
+      send_segment(in_flight_.begin()->first, in_flight_.begin()->second, true);
+    }
+  } else if (h.ack == last_ack_ && !in_flight_.empty()) {
+    ++dupacks_;
+  }
+  last_ack_ = h.ack;
+
+  // Fast retransmit on dupacks or a SACK-visible hole.
+  const bool sack_hole =
+      h.sack_upto > h.ack + static_cast<std::uint64_t>(cfg_.dupack_threshold) * cfg_.mss;
+  if ((dupacks_ >= cfg_.dupack_threshold || sack_hole) && !in_flight_.empty() &&
+      snd_una_ >= recovery_until_) {
+    recovery_until_ = next_seq_;  // one loss event per window
+    cca_->on_loss(now, cfg_.mss);
+    retransmit_first_unacked();
+    dupacks_ = 0;
+  }
+
+  cca::AckEvent ev;
+  ev.now = now;
+  ev.rtt = rtt;
+  ev.acked_bytes = newly_acked;
+  ev.bytes_in_flight = bytes_in_flight_;
+  ev.delivery_rate_bps = delivered_rate_.rate_bps(now).value_or(0.0);
+  ev.abc_echo = h.abc_echo;
+  cca_->on_ack(ev);
+
+  try_send();
+}
+
+}  // namespace zhuge::transport

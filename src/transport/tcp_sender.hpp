@@ -1,0 +1,135 @@
+#pragma once
+// TCP-like reliable sender for RTC-over-TCP flows (§5.1 "out-of-band
+// feedback"). Byte-sequenced, cumulatively ACKed, paced by a pluggable
+// CongestionControl. The application pushes video frames; the receiver
+// side reconstructs frame completion from framing metadata.
+//
+// Deliberately RTC-flavoured: per-packet ACKs (no delayed ACK), SACK-lite
+// loss recovery, Karn-compliant RTT sampling via timestamp echo — the
+// pieces the evaluated CCAs (Copa, BBR, ABC) actually consume.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "cca/cca.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "stats/windowed.hpp"
+
+namespace zhuge::transport {
+
+using net::Packet;
+using net::PacketHandler;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Reliable paced byte-stream sender.
+class TcpSender {
+ public:
+  struct Config {
+    std::uint32_t mss = cca::kMss;      ///< payload bytes per segment
+    std::uint32_t header_bytes = 40;    ///< IP+TCP overhead on the wire
+    Duration min_rto = Duration::millis(200);
+    Duration max_rto = Duration::seconds(4);
+    int dupack_threshold = 3;
+  };
+
+  TcpSender(sim::Simulator& simulator, net::FlowId flow,
+            std::unique_ptr<cca::CongestionControl> cca, Config cfg,
+            net::PacketUidSource& uids, PacketHandler out)
+      : sim_(simulator),
+        flow_(flow),
+        cca_(std::move(cca)),
+        cfg_(cfg),
+        uids_(uids),
+        out_(std::move(out)),
+        delivered_rate_(Duration::millis(500)) {}
+
+  /// Queue one application video frame of `bytes` bytes for transmission.
+  void write_frame(std::uint32_t frame_id, TimePoint capture_time, std::uint64_t bytes);
+
+  /// Process an incoming ACK packet of this flow.
+  void on_ack(const Packet& ack);
+
+  /// Observe every valid RTT sample the sender measures (Fig. 10's
+  /// "measured RTT at the server" — shifted forward under Zhuge).
+  using RttObserver = std::function<void(Duration, TimePoint)>;
+  void set_rtt_observer(RttObserver obs) { rtt_observer_ = std::move(obs); }
+
+  [[nodiscard]] cca::CongestionControl& congestion_control() { return *cca_; }
+  [[nodiscard]] std::uint64_t bytes_in_flight() const { return bytes_in_flight_; }
+  [[nodiscard]] std::uint64_t backlog_bytes() const { return backlog_bytes_; }
+  [[nodiscard]] Duration smoothed_rtt() const { return srtt_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Delivery rate seen through ACKs (bps), for logging/benches.
+  [[nodiscard]] double delivery_rate_bps(TimePoint now) {
+    return delivered_rate_.rate_bps(now).value_or(0.0);
+  }
+
+ private:
+  struct FrameChunk {
+    std::uint32_t frame_id;
+    TimePoint capture_time;
+    std::uint64_t remaining;
+    std::uint64_t end_seq;  ///< stream offset one past this frame
+  };
+  struct SentSegment {
+    std::uint64_t end_seq;
+    TimePoint sent_time;
+    std::uint32_t frame_id;
+    TimePoint capture_time;
+    std::uint64_t frame_end_seq;
+    int transmissions = 1;
+  };
+
+  void try_send();
+  void send_segment(std::uint64_t seq, const SentSegment& meta, bool retransmit);
+  void arm_pacing_timer(TimePoint when);
+  void arm_rto();
+  void on_rto_fired();
+  void retransmit_first_unacked();
+  [[nodiscard]] Duration current_rto() const;
+
+  sim::Simulator& sim_;
+  net::FlowId flow_;
+  std::unique_ptr<cca::CongestionControl> cca_;
+  Config cfg_;
+  net::PacketUidSource& uids_;
+  PacketHandler out_;
+
+  // Application backlog.
+  std::deque<FrameChunk> app_queue_;
+  std::uint64_t backlog_bytes_ = 0;
+  std::uint64_t next_frame_start_ = 0;  ///< stream offset for the next frame
+
+  // Sequencing.
+  std::uint64_t next_seq_ = 0;  ///< next new byte to send
+  std::uint64_t snd_una_ = 0;   ///< oldest unacknowledged byte
+  std::map<std::uint64_t, SentSegment> in_flight_;  ///< by start seq
+  std::uint64_t bytes_in_flight_ = 0;
+
+  // RTT estimation (timestamp echo; Karn's rule via transmissions==1).
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+
+  // Loss detection.
+  std::uint64_t last_ack_ = 0;
+  int dupacks_ = 0;
+  std::uint64_t recovery_until_ = 0;  ///< fast-recovery high-water mark
+
+  // Pacing.
+  TimePoint next_send_time_;
+  sim::EventId pacing_timer_ = 0;
+
+  // RTO.
+  sim::EventId rto_timer_ = 0;
+  int rto_backoff_ = 0;
+
+  stats::WindowedRate delivered_rate_;
+  std::uint64_t retransmissions_ = 0;
+  RttObserver rtt_observer_;
+};
+
+}  // namespace zhuge::transport

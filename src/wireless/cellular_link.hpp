@@ -1,0 +1,105 @@
+#pragma once
+// Cellular last-hop model: per-UE isolated queue drained by a TTI-clocked
+// scheduler whose budget follows the ABW trace (the paper defers cellular
+// delay estimation to ABC [31]; each flow has its own queue, no CSMA
+// contention, delivery after a fixed HARQ/air latency).
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "queue/qdisc.hpp"
+#include "sim/simulator.hpp"
+#include "wireless/channel.hpp"
+
+namespace zhuge::wireless {
+
+using net::Packet;
+using net::PacketHandler;
+
+/// One direction of a cellular hop.
+class CellularLink {
+ public:
+  struct Config {
+    Duration tti = Duration::millis(1);        ///< scheduler granularity
+    Duration air_latency = Duration::millis(4);  ///< HARQ + propagation
+    double loss_prob = 0.0;                    ///< residual post-HARQ loss
+  };
+
+  using DequeueObserver = std::function<void(const Packet&, TimePoint)>;
+  using DeliveryObserver = std::function<void(const Packet&, TimePoint)>;
+
+  CellularLink(sim::Simulator& simulator, sim::Rng& rng, Channel& channel,
+               queue::Qdisc& qdisc, Config cfg, PacketHandler deliver)
+      : sim_(simulator),
+        rng_(rng),
+        channel_(channel),
+        qdisc_(qdisc),
+        cfg_(cfg),
+        deliver_(std::move(deliver)) {}
+
+  /// Enqueue for the next scheduling opportunity. Returns false when the
+  /// qdisc tail-dropped the packet.
+  bool offer(Packet p) {
+    p.ap_enqueue_time = sim_.now();
+    const bool accepted = qdisc_.enqueue(std::move(p), sim_.now());
+    if (!ticking_) {
+      ticking_ = true;
+      sim_.schedule_after(cfg_.tti, [this] { tick(); });
+    }
+    return accepted;
+  }
+
+  void set_dequeue_observer(DequeueObserver obs) { on_dequeue_ = std::move(obs); }
+  void set_delivery_observer(DeliveryObserver obs) { on_delivered_ = std::move(obs); }
+
+  [[nodiscard]] queue::Qdisc& qdisc() { return qdisc_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_; }
+
+ private:
+  void tick() {
+    const TimePoint now = sim_.now();
+    const double rate = std::max(0.0, channel_.rate_bps(now));
+    carry_bytes_ += rate * cfg_.tti.to_seconds() / 8.0;
+
+    while (true) {
+      const Packet* head = qdisc_.peek();
+      if (head == nullptr) {
+        carry_bytes_ = 0.0;  // no packet "in service": budget does not bank
+        break;
+      }
+      if (carry_bytes_ < static_cast<double>(head->size_bytes)) break;
+      auto p = qdisc_.dequeue(now);
+      if (!p.has_value()) continue;  // AQM head drop
+      carry_bytes_ -= static_cast<double>(p->size_bytes);
+      if (on_dequeue_) on_dequeue_(*p, now);
+      if (rng_.chance(cfg_.loss_prob)) continue;
+      sim_.schedule_after(cfg_.air_latency, [this, pkt = std::move(*p)]() mutable {
+        pkt.delivered_time = sim_.now();
+        ++delivered_;
+        if (on_delivered_) on_delivered_(pkt, sim_.now());
+        if (deliver_) deliver_(std::move(pkt));
+      });
+    }
+
+    if (qdisc_.packet_count() > 0) {
+      sim_.schedule_after(cfg_.tti, [this] { tick(); });
+    } else {
+      ticking_ = false;
+    }
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  Channel& channel_;
+  queue::Qdisc& qdisc_;
+  Config cfg_;
+  PacketHandler deliver_;
+  DequeueObserver on_dequeue_;
+  DeliveryObserver on_delivered_;
+  double carry_bytes_ = 0.0;
+  bool ticking_ = false;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace zhuge::wireless

@@ -1,0 +1,58 @@
+#pragma once
+// Time-varying wireless channel capacity.
+//
+// Two modes, matching the two ways the paper drives its experiments:
+//  * trace mode  — the available bandwidth follows an ABW trace (§7.3);
+//  * PHY mode    — a fixed modulation-coding-scheme (MCS) rate, which the
+//    fig18 "mcs" scenario switches at runtime, with contention modelled
+//    separately by the Medium.
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace zhuge::wireless {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// 802.11n 20 MHz single-stream MCS data rates (long guard interval).
+inline constexpr std::array<double, 8> kMcsRateBps = {
+    6.5e6, 13e6, 19.5e6, 26e6, 39e6, 52e6, 58.5e6, 65e6};
+
+/// Channel capacity source. Not an interface — the two modes share state
+/// (a trace-driven channel can still be asked for its MCS cap).
+class Channel {
+ public:
+  /// Trace-driven channel: capacity follows `trace` (which must outlive
+  /// the channel).
+  explicit Channel(const trace::Trace* trace) : trace_(trace) {}
+
+  /// PHY-mode channel at the given MCS index.
+  explicit Channel(int mcs_index) { set_mcs(mcs_index); }
+
+  /// Instantaneous capacity in bits/second.
+  [[nodiscard]] double rate_bps(TimePoint now) const {
+    if (trace_ != nullptr) return trace_->rate_at(now);
+    return kMcsRateBps[static_cast<std::size_t>(mcs_)];
+  }
+
+  /// Switch MCS (PHY mode; the fig18 "mcs" scenario calls this every 30 s).
+  void set_mcs(int idx) {
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<int>(kMcsRateBps.size()))
+      idx = static_cast<int>(kMcsRateBps.size()) - 1;
+    mcs_ = idx;
+  }
+
+  [[nodiscard]] int mcs() const { return mcs_; }
+  [[nodiscard]] bool trace_driven() const { return trace_ != nullptr; }
+
+ private:
+  const trace::Trace* trace_ = nullptr;
+  int mcs_ = 7;
+};
+
+}  // namespace zhuge::wireless

@@ -1,0 +1,225 @@
+// End-to-end integration tests for the scenario harness: smoke coverage
+// of every protocol x AP-mode x qdisc combination, determinism, and the
+// headline Zhuge behaviour on a controlled bandwidth drop.
+
+#include <gtest/gtest.h>
+
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+
+namespace zhuge::app {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+using namespace sim::literals;
+
+trace::Trace steady_trace() { return trace::constant_trace(20e6, 30_s); }
+
+ScenarioConfig base_config(const trace::Trace& tr) {
+  ScenarioConfig cfg;
+  cfg.channel_trace = &tr;
+  cfg.duration = 20_s;
+  cfg.warmup = 3_s;
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct Combo {
+  Protocol protocol;
+  ApMode mode;
+  QdiscKind qdisc;
+};
+
+class ScenarioSmokeTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ScenarioSmokeTest, RunsAndDeliversVideo) {
+  const auto tr = steady_trace();
+  ScenarioConfig cfg = base_config(tr);
+  cfg.protocol = GetParam().protocol;
+  cfg.ap.mode = GetParam().mode;
+  cfg.ap.qdisc = GetParam().qdisc;
+  if (cfg.protocol == Protocol::kTcp && cfg.ap.mode == ApMode::kAbc) {
+    cfg.tcp_cca = TcpCcaKind::kAbc;
+  }
+  const auto r = run_scenario(cfg);
+  const auto& f = r.primary();
+  // A clean 20 Mbps channel must deliver nearly all frames with low delay.
+  EXPECT_GT(f.frames_decoded, 300u);
+  EXPECT_LT(f.network_rtt_ms.quantile(0.5), 150.0);
+  EXPECT_GT(f.goodput_bps, 1e6);
+  EXPECT_GT(f.frame_rate_fps.quantile(0.5), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, ScenarioSmokeTest,
+    ::testing::Values(
+        Combo{Protocol::kRtp, ApMode::kNone, QdiscKind::kFifo},
+        Combo{Protocol::kRtp, ApMode::kNone, QdiscKind::kCoDel},
+        Combo{Protocol::kRtp, ApMode::kNone, QdiscKind::kFqCoDel},
+        Combo{Protocol::kRtp, ApMode::kZhuge, QdiscKind::kFifo},
+        Combo{Protocol::kRtp, ApMode::kZhuge, QdiscKind::kCoDel},
+        Combo{Protocol::kTcp, ApMode::kNone, QdiscKind::kFifo},
+        Combo{Protocol::kTcp, ApMode::kZhuge, QdiscKind::kFifo},
+        Combo{Protocol::kTcp, ApMode::kFastAck, QdiscKind::kFifo},
+        Combo{Protocol::kTcp, ApMode::kAbc, QdiscKind::kFifo}));
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const auto tr = trace::make_trace(trace::TraceKind::kOfficeWifi, 3, 20_s);
+  ScenarioConfig cfg = base_config(tr);
+  cfg.protocol = Protocol::kRtp;
+  cfg.ap.mode = ApMode::kZhuge;
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.primary().goodput_bps, b.primary().goodput_bps);
+  EXPECT_DOUBLE_EQ(a.primary().network_rtt_ms.quantile(0.99),
+                   b.primary().network_rtt_ms.quantile(0.99));
+  EXPECT_EQ(a.primary().frames_decoded, b.primary().frames_decoded);
+}
+
+TEST(Scenario, SeedChangesOutcome) {
+  const auto tr = trace::make_trace(trace::TraceKind::kOfficeWifi, 3, 20_s);
+  ScenarioConfig cfg = base_config(tr);
+  const auto a = run_scenario(cfg);
+  cfg.seed = 6;
+  const auto b = run_scenario(cfg);
+  EXPECT_NE(a.events_executed, b.events_executed);
+}
+
+TEST(Scenario, TcpCcaVariantsAllRun) {
+  const auto tr = steady_trace();
+  for (TcpCcaKind cca : {TcpCcaKind::kCopa, TcpCcaKind::kBbr, TcpCcaKind::kCubic}) {
+    ScenarioConfig cfg = base_config(tr);
+    cfg.protocol = Protocol::kTcp;
+    cfg.tcp_cca = cca;
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.primary().frames_decoded, 250u) << static_cast<int>(cca);
+  }
+}
+
+TEST(Scenario, NadaAndScreamVariantsRun) {
+  const auto tr = steady_trace();
+  for (const auto cca : {transport::RtpCca::kNada, transport::RtpCca::kScream}) {
+    ScenarioConfig cfg = base_config(tr);
+    cfg.protocol = Protocol::kRtp;
+    cfg.rtp_cca = cca;
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.primary().frames_decoded, 300u) << static_cast<int>(cca);
+    EXPECT_GT(r.primary().goodput_bps, 1e6) << static_cast<int>(cca);
+  }
+}
+
+TEST(Scenario, CellularLinkRuns) {
+  const auto tr = trace::make_trace(trace::TraceKind::kCity4G, 3, 20_s);
+  ScenarioConfig cfg = base_config(tr);
+  cfg.ap.link = LinkKind::kCellular;
+  for (ApMode mode : {ApMode::kNone, ApMode::kZhuge}) {
+    cfg.ap.mode = mode;
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.primary().frames_decoded, 300u);
+  }
+}
+
+TEST(Scenario, CompetingFlowsDegradeRtc) {
+  const auto tr = steady_trace();
+  ScenarioConfig cfg = base_config(tr);
+  cfg.protocol = Protocol::kRtp;
+  const auto clean = run_scenario(cfg);
+  cfg.competing_bulk_flows = 8;
+  const auto contended = run_scenario(cfg);
+  // Bulk CUBIC flows through the same FIFO must hurt the RTC flow's RTT.
+  EXPECT_GT(contended.primary().network_rtt_ms.quantile(0.9),
+            clean.primary().network_rtt_ms.quantile(0.9));
+}
+
+TEST(Scenario, InterferersReduceThroughput) {
+  ScenarioConfig cfg;
+  cfg.channel_trace = nullptr;  // PHY mode
+  cfg.mcs_index = 3;            // 26 Mbps
+  cfg.duration = 20_s;
+  cfg.warmup = 3_s;
+  cfg.interferers = 30;
+  const auto noisy = run_scenario(cfg);
+  cfg.interferers = 0;
+  const auto clean = run_scenario(cfg);
+  EXPECT_LT(noisy.primary().goodput_bps, clean.primary().goodput_bps);
+  EXPECT_GT(noisy.primary().network_rtt_ms.quantile(0.9),
+            clean.primary().network_rtt_ms.quantile(0.9));
+}
+
+TEST(Scenario, ZhugeCutsDegradationAfterAbwDrop) {
+  // The paper's headline microbenchmark (Fig. 14): 30 Mbps -> 3 Mbps.
+  const auto tr = trace::step_trace(30e6, 3e6, 20_s, 40_s);
+  ScenarioConfig cfg;
+  cfg.channel_trace = &tr;
+  cfg.duration = 40_s;
+  cfg.warmup = 3_s;
+  cfg.seed = 3;
+  cfg.video.max_bitrate_bps = 40e6;        // let the CCA fill the link
+  cfg.ap.queue_limit_bytes = 100 * 1500;   // NS-3-style bottleneck buffer
+
+  auto degradation = [&](ApMode mode, Protocol proto) {
+    cfg.ap.mode = mode;
+    cfg.protocol = proto;
+    const auto r = run_scenario(cfg);
+    return r.rtt_series_ms
+        .time_above(200.0, TimePoint::zero() + 20_s, TimePoint::zero() + 40_s)
+        .to_seconds();
+  };
+  const double rtp_base = degradation(ApMode::kNone, Protocol::kRtp);
+  const double rtp_zhuge = degradation(ApMode::kZhuge, Protocol::kRtp);
+  EXPECT_LT(rtp_zhuge, rtp_base);  // the shorter control loop must pay off
+  EXPECT_GT(rtp_base, 0.5);        // the drop visibly hurts the baseline
+}
+
+TEST(Scenario, ZhugePredictionErrorIsBounded) {
+  const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 3, 30_s);
+  ScenarioConfig cfg = base_config(tr);
+  cfg.duration = 30_s;
+  cfg.ap.mode = ApMode::kZhuge;
+  const auto r = run_scenario(cfg);
+  ASSERT_GT(r.prediction_error_ms.count(), 1000u);
+  // Paper Fig. 19: most predictions err well below the 50 ms RTT.
+  EXPECT_LT(r.prediction_error_ms.quantile(0.5), 25.0);
+}
+
+TEST(Scenario, FairnessBetweenTwoOptimisedFlows) {
+  const auto tr = steady_trace();
+  ScenarioConfig cfg = base_config(tr);
+  cfg.protocol = Protocol::kRtp;
+  cfg.rtc_flows = 2;
+  cfg.ap.mode = ApMode::kZhuge;
+  const auto r = run_scenario(cfg);
+  ASSERT_EQ(r.flows.size(), 2u);
+  const double a = r.flows[0].goodput_bps;
+  const double b = r.flows[1].goodput_bps;
+  EXPECT_GT(std::min(a, b) / std::max(a, b), 0.8);
+}
+
+TEST(Scenario, MixedOptimisationDoesNotStarveTheOther) {
+  const auto tr = steady_trace();
+  ScenarioConfig cfg = base_config(tr);
+  cfg.protocol = Protocol::kRtp;
+  cfg.rtc_flows = 2;
+  cfg.ap.mode = ApMode::kZhuge;
+  cfg.optimize_flow = {true, false};  // paper Fig. 20 bar (b)
+  const auto r = run_scenario(cfg);
+  const double a = r.flows[0].goodput_bps;
+  const double b = r.flows[1].goodput_bps;
+  EXPECT_GT(std::min(a, b) / std::max(a, b), 0.75);
+}
+
+TEST(Scenario, ScpAndMcsScenariosRun) {
+  ScenarioConfig cfg;
+  cfg.mcs_index = 5;
+  cfg.duration = 20_s;
+  cfg.warmup = 3_s;
+  cfg.scp_periodic_competitor = true;
+  cfg.mcs_random_switch = true;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.primary().frames_decoded, 250u);
+}
+
+}  // namespace
+}  // namespace zhuge::app

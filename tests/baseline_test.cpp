@@ -1,0 +1,128 @@
+// Unit tests for the comparison baselines: FastAck (IMC '17) and the ABC
+// router (NSDI '20).
+
+#include <gtest/gtest.h>
+
+#include "baseline/abc_router.hpp"
+#include "baseline/fastack.hpp"
+
+namespace zhuge::baseline {
+namespace {
+
+using net::Packet;
+using sim::Duration;
+using sim::TimePoint;
+using namespace sim::literals;
+
+TimePoint at(std::int64_t ms) { return TimePoint::zero() + Duration::millis(ms); }
+
+Packet tcp_data(std::uint64_t seq, std::uint64_t end, std::uint64_t ts = 0) {
+  Packet p;
+  p.flow = net::FlowId{1, 2, 10, 20, 6};
+  net::TcpHeader h;
+  h.seq = seq;
+  h.end_seq = end;
+  h.ts_val = ts;
+  p.header = h;
+  return p;
+}
+
+TEST(FastAck, ForgesCumulativeAcks) {
+  FastAck fa({});
+  auto a1 = fa.on_wireless_delivered(tcp_data(0, 1200, 7), at(1), 100);
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_TRUE(a1->tcp().is_ack);
+  EXPECT_EQ(a1->tcp().ack, 1200u);
+  EXPECT_EQ(a1->tcp().ts_echo, 7u);
+  EXPECT_EQ(a1->flow, tcp_data(0, 0).flow.reversed());
+
+  auto a2 = fa.on_wireless_delivered(tcp_data(1200, 2400), at(2), 101);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a2->tcp().ack, 2400u);
+}
+
+TEST(FastAck, HandlesOutOfOrderDelivery) {
+  FastAck fa({});
+  auto a1 = fa.on_wireless_delivered(tcp_data(1200, 2400), at(1), 100);
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_EQ(a1->tcp().ack, 0u);         // hole at the front
+  EXPECT_EQ(a1->tcp().sack_upto, 2400u);
+  auto a2 = fa.on_wireless_delivered(tcp_data(0, 1200), at(2), 101);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a2->tcp().ack, 2400u);  // hole filled, prefix jumps
+}
+
+TEST(FastAck, IgnoresNonTcpPackets) {
+  FastAck fa({});
+  Packet rtp;
+  rtp.header = net::RtpHeader{};
+  EXPECT_FALSE(fa.on_wireless_delivered(rtp, at(1), 100).has_value());
+}
+
+TEST(FastAck, DropsClientPureAcks) {
+  Packet ack;
+  net::TcpHeader h;
+  h.is_ack = true;
+  ack.header = h;
+  EXPECT_TRUE(FastAck::should_drop_uplink(ack));
+  Packet data = tcp_data(0, 1200);
+  EXPECT_FALSE(FastAck::should_drop_uplink(data));
+}
+
+TEST(AbcRouter, MarksAccelerateWhenUnderutilised) {
+  AbcRouter router;
+  // Dequeues at 10 Mbps, arrivals at 2 Mbps, empty queue: everything
+  // should accelerate.
+  std::int64_t t = 0;
+  int accel = 0, total = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += 1;
+    router.on_dequeue(1250, at(t));  // 10 Mbps
+    if (i % 5 == 0) {                // arrivals at 2 Mbps
+      ++total;
+      if (router.mark(1250, Duration::zero(), at(t)) == net::AbcMark::kAccelerate) {
+        ++accel;
+      }
+    }
+  }
+  EXPECT_GT(accel, total * 8 / 10);
+}
+
+TEST(AbcRouter, BrakesUnderQueueDelay) {
+  AbcRouter router;
+  std::int64_t t = 0;
+  // Arrivals match dequeues (10 Mbps) but a large standing queue delay
+  // drives the target rate to zero: everything brakes.
+  int brake = 0, total = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += 1;
+    router.on_dequeue(1250, at(t));
+    ++total;
+    if (router.mark(1250, 200_ms, at(t)) == net::AbcMark::kBrake) ++brake;
+  }
+  EXPECT_GT(brake, total * 9 / 10);
+}
+
+TEST(AbcRouter, MarkFractionTracksTargetOverCurrent) {
+  AbcRouter::Config cfg;
+  cfg.eta = 1.0;
+  AbcRouter router(cfg);
+  std::int64_t t = 0;
+  // Dequeue rate 5 Mbps, arrival rate 10 Mbps, no queue delay: target/cr
+  // = 0.5, so about half the packets should be accelerate.
+  int accel = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 1;
+    if (i % 2 == 0) router.on_dequeue(1250, at(t));  // 5 Mbps
+    ++total;
+    if (router.mark(1250, Duration::zero(), at(t)) == net::AbcMark::kAccelerate) {
+      ++accel;
+    }
+  }
+  const double frac = static_cast<double>(accel) / total;
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.65);
+}
+
+}  // namespace
+}  // namespace zhuge::baseline

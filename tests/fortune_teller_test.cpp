@@ -1,0 +1,166 @@
+// Unit tests for the Zhuge Fortune Teller (§4): qLong / qShort / tx
+// estimation, the Eq. 1 burst adjustment, idle-gap filtering, and the
+// Fig. 7 reaction shape.
+
+#include <gtest/gtest.h>
+
+#include "core/fortune_teller.hpp"
+#include "queue/fifo.hpp"
+
+namespace zhuge::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+using namespace sim::literals;
+
+TimePoint at(std::int64_t us) { return TimePoint::zero() + Duration::micros(us); }
+
+TEST(FortuneTeller, UsesFallbacksBeforeAnyDeparture) {
+  FortuneTellerConfig cfg;
+  cfg.fallback_rate_bps = 8e6;
+  cfg.fallback_tx = 2_ms;
+  cfg.burst_adjustment = false;
+  FortuneTeller ft(cfg);
+  // 10 kB queued at the 8 Mbps fallback = 10 ms qLong; + 2 ms fallback tx.
+  const auto pred = ft.predict(at(0), 10'000, std::nullopt);
+  EXPECT_NEAR(pred.q_long.to_millis(), 10.0, 0.01);
+  EXPECT_NEAR(pred.tx.to_millis(), 2.0, 0.01);
+  EXPECT_EQ(pred.q_short, Duration::zero());
+}
+
+TEST(FortuneTeller, QLongUsesMeasuredTxRate) {
+  FortuneTellerConfig cfg;
+  cfg.burst_adjustment = false;
+  FortuneTeller ft(cfg);
+  // 1250 bytes per ms over the window = 10 Mbps.
+  for (int i = 0; i <= 40; ++i) ft.on_dequeue(1250, at(i * 1000));
+  EXPECT_NEAR(ft.tx_rate_bps(at(40'000)), 10e6, 0.3e6);
+  const auto pred = ft.predict(at(40'000), 12'500, std::nullopt);
+  EXPECT_NEAR(pred.q_long.to_millis(), 10.0, 0.5);
+}
+
+TEST(FortuneTeller, QShortIsHeadWaitTime) {
+  FortuneTeller ft;
+  const auto pred = ft.predict(at(20'000), 0, at(5'000));
+  EXPECT_NEAR(pred.q_short.to_millis(), 15.0, 1e-9);
+}
+
+TEST(FortuneTeller, QShortDisabledByAblationFlag) {
+  FortuneTellerConfig cfg;
+  cfg.use_qshort = false;
+  FortuneTeller ft(cfg);
+  const auto pred = ft.predict(at(20'000), 0, at(5'000));
+  EXPECT_EQ(pred.q_short, Duration::zero());
+}
+
+TEST(FortuneTeller, TxIgnoresSubMillisecondIntervals) {
+  FortuneTeller ft;
+  // A burst of 8 packets within 1 us of each other, then 5 ms to the next
+  // burst: only the 5 ms inter-burst interval counts.
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 8; ++i) ft.on_dequeue(1200, at(burst * 5000 + i));
+  }
+  EXPECT_NEAR(ft.tx_delay(at(25'000)).to_millis(), 5.0, 0.2);
+}
+
+TEST(FortuneTeller, TxSkipsIdleGaps) {
+  FortuneTeller ft;
+  // Two bursts 3 ms apart while backlogged, then the queue empties; the
+  // next burst is 40 ms later (application idle) and must not be counted.
+  for (int i = 0; i < 4; ++i) ft.on_dequeue(1200, at(i), false);
+  for (int i = 0; i < 4; ++i) ft.on_dequeue(1200, at(3000 + i), i == 3);
+  for (int i = 0; i < 4; ++i) ft.on_dequeue(1200, at(39'000 + i), false);
+  // Within the 40 ms window the only valid interval is the 3 ms one; the
+  // 36 ms idle gap after the queue emptied must have been skipped.
+  EXPECT_NEAR(ft.tx_delay(at(39'100)).to_millis(), 3.0, 0.2);
+}
+
+TEST(FortuneTeller, BurstAdjustmentSubtractsMaxBurst) {
+  FortuneTellerConfig cfg;
+  cfg.fallback_rate_bps = 8e6;
+  FortuneTeller ft(cfg);
+  // One simultaneous departure of 4 x 1200 = 4800 bytes.
+  for (int i = 0; i < 4; ++i) ft.on_dequeue(1200, at(100 + i));
+  ft.on_dequeue(1200, at(5'000));  // closes the burst
+  EXPECT_EQ(ft.max_burst_bytes(at(5'000)), 4800);
+  // qSize = max(6000 - 4800, 0) = 1200 bytes. The measured window rate is
+  // 6000 bytes / 40 ms = 1.2 Mbps, so qLong = 1200*8/1.2e6 = 8 ms.
+  const auto pred = ft.predict(at(5'000), 6000, std::nullopt);
+  EXPECT_NEAR(pred.q_long.to_millis(), 8.0, 0.5);
+}
+
+TEST(FortuneTeller, BurstAdjustmentClampsAtZero) {
+  FortuneTellerConfig cfg;
+  FortuneTeller ft(cfg);
+  for (int i = 0; i < 8; ++i) ft.on_dequeue(1200, at(100 + i));
+  ft.on_dequeue(1200, at(5'000));
+  const auto pred = ft.predict(at(5'000), 5000, std::nullopt);  // < maxBurst
+  EXPECT_EQ(pred.q_long, Duration::zero());
+}
+
+TEST(FortuneTeller, BurstAdjustmentAblation) {
+  FortuneTellerConfig with;
+  FortuneTellerConfig without;
+  without.burst_adjustment = false;
+  FortuneTeller a(with);
+  FortuneTeller b(without);
+  for (auto* ft : {&a, &b}) {
+    for (int i = 0; i < 4; ++i) ft->on_dequeue(1200, at(100 + i));
+    ft->on_dequeue(1200, at(5'000));
+  }
+  EXPECT_LT(a.predict(at(5'000), 6000, std::nullopt).q_long,
+            b.predict(at(5'000), 6000, std::nullopt).q_long);
+}
+
+TEST(FortuneTeller, PredictionClampedAtMaximum) {
+  FortuneTellerConfig cfg;
+  cfg.max_prediction = 1_s;
+  cfg.fallback_rate_bps = 1e3;  // absurdly slow: raw qLong would be hours
+  cfg.burst_adjustment = false;
+  FortuneTeller ft(cfg);
+  const auto pred = ft.predict(at(0), 10'000'000, std::nullopt);
+  EXPECT_LE(pred.total(), 1_s + 1_ms);
+}
+
+TEST(FortuneTeller, PredictViaQdiscReadsPerFlowState) {
+  FortuneTellerConfig cfg;
+  cfg.fallback_rate_bps = 8e6;
+  cfg.burst_adjustment = false;
+  FortuneTeller ft(cfg);
+  queue::DropTailFifo q(-1);
+  net::Packet p;
+  p.size_bytes = 10'000;
+  q.enqueue(std::move(p), at(1'000));
+  const auto pred = ft.predict(at(3'000), q, net::FlowId{});
+  EXPECT_NEAR(pred.q_long.to_millis(), 10.0, 0.01);
+  EXPECT_NEAR(pred.q_short.to_millis(), 2.0, 0.01);  // head since t=1ms
+}
+
+// Fig. 7 shape: on an ABW stall, qShort rises immediately (head packet
+// stuck) while qLong reacts only as the measured rate decays.
+TEST(FortuneTeller, QShortLeadsQLongAfterAbwDrop) {
+  FortuneTellerConfig cfg;
+  FortuneTeller ft(cfg);
+  // Steady state: 1250-byte departures every 1 ms (10 Mbps).
+  std::int64_t t_us = 0;
+  for (; t_us < 40'000; t_us += 1000) ft.on_dequeue(1250, at(t_us));
+  // Channel stalls at t=40ms: no departures; head waits.
+  // The queue itself is still small early in the stall (2 packets) and
+  // has built up by 30 ms in (10 packets).
+  const TimePoint stall_start = at(40'000);
+  const auto early = ft.predict(at(45'000), 2'500, stall_start);
+  const auto later = ft.predict(at(70'000), 12'500, stall_start);
+  // 5 ms into the stall: qShort = 5 ms dominates its own rise.
+  EXPECT_NEAR(early.q_short.to_millis(), 5.0, 1e-6);
+  // 30 ms in: qShort has kept growing...
+  EXPECT_NEAR(later.q_short.to_millis(), 30.0, 1e-6);
+  // ...and qLong also grew because the windowed rate collapsed.
+  EXPECT_GT(later.q_long, early.q_long);
+  // The early rise is dominated by qShort, not qLong (the 40 ms window
+  // still holds pre-stall departures).
+  EXPECT_GT(early.q_short, early.q_long);
+}
+
+}  // namespace
+}  // namespace zhuge::core

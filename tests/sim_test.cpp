@@ -1,0 +1,207 @@
+// Unit tests for the discrete-event engine: time arithmetic, event
+// ordering, cancellation, and deterministic randomness.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::sim {
+namespace {
+
+using namespace literals;
+
+TEST(Time, DurationFactoriesAgree) {
+  EXPECT_EQ(Duration::micros(1).count_ns(), 1000);
+  EXPECT_EQ(Duration::millis(1).count_ns(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.5), Duration::millis(500));
+  EXPECT_EQ(Duration::from_millis(1.5), Duration::micros(1500));
+  EXPECT_EQ(1_ms, Duration::millis(1));
+  EXPECT_EQ(2_s, Duration::seconds(2));
+  EXPECT_EQ(3_us, Duration::micros(3));
+  EXPECT_EQ(7_ns, Duration::nanos(7));
+}
+
+TEST(Time, DurationArithmetic) {
+  const Duration a = 10_ms;
+  const Duration b = 4_ms;
+  EXPECT_EQ(a + b, 14_ms);
+  EXPECT_EQ(a - b, 6_ms);
+  EXPECT_EQ(-b, Duration::millis(-4));
+  EXPECT_EQ(a * 2.0, 20_ms);
+  EXPECT_EQ(a / 2, 5_ms);
+  EXPECT_DOUBLE_EQ(a.ratio(b), 2.5);
+  EXPECT_DOUBLE_EQ(a.to_seconds(), 0.010);
+  EXPECT_DOUBLE_EQ(a.to_millis(), 10.0);
+  EXPECT_DOUBLE_EQ(a.to_micros(), 10'000.0);
+}
+
+TEST(Time, TimePointArithmetic) {
+  TimePoint t = TimePoint::zero();
+  t += 5_ms;
+  EXPECT_EQ(t.count_ns(), 5'000'000);
+  EXPECT_EQ(t + 5_ms - t, 5_ms);
+  EXPECT_EQ((t + 5_ms) - 5_ms, t);
+  EXPECT_LT(t, t + 1_ns);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(Duration::zero(), 0_ns);
+  EXPECT_LT(Duration::millis(-1), Duration::zero());
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(1500_ns), "1.500us");
+  EXPECT_EQ(to_string(12_ms), "12.000ms");
+  EXPECT_EQ(to_string(2_s), "2.000s");
+  EXPECT_EQ(to_string(5_ns), "5ns");
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(3_ms, [&] { order.push_back(3); });
+  sim.schedule_after(1_ms, [&] { order.push_back(1); });
+  sim.schedule_after(2_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::zero() + 3_ms);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(1_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingSeesCurrentTime) {
+  Simulator sim;
+  TimePoint inner_time;
+  sim.schedule_after(1_ms, [&] {
+    sim.schedule_after(2_ms, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, TimePoint::zero() + 3_ms);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_after(1_ms, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  EXPECT_FALSE(sim.cancel(9999));  // unknown id
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_ms, [&] { ++fired; });
+  sim.schedule_after(10_ms, [&] { ++fired; });
+  sim.run_until(TimePoint::zero() + 5_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::zero() + 5_ms);
+  sim.run_until(TimePoint::zero() + 20_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopEndsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1_ms, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(2_ms, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::millis(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint::zero());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42, 1), b(42, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBound) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 9'000);
+    EXPECT_LT(c, 11'000);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0, sq = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.05);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.pareto(4.0, 1.3), 4.0);
+}
+
+}  // namespace
+}  // namespace zhuge::sim

@@ -1,0 +1,209 @@
+// Unit tests for the statistics primitives: windowed estimators, offline
+// distributions, and the time-series degradation metrics.
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "stats/distribution.hpp"
+#include "stats/timeseries.hpp"
+#include "stats/windowed.hpp"
+
+namespace zhuge::stats {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+using namespace sim::literals;
+
+TimePoint at(std::int64_t ms) { return TimePoint::zero() + Duration::millis(ms); }
+
+TEST(WindowedRate, ComputesRateOverFullWindow) {
+  WindowedRate r(40_ms);
+  // 1000 bytes every 10 ms = 100 kB/s = 800 kbit/s.
+  for (int i = 0; i <= 4; ++i) r.record(at(10 * i), 1000);
+  // Window [0,40] holds samples at 0..40 => but t=0 evicted at cutoff.
+  const auto rate = r.rate_bps(at(40));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 5000.0 * 8.0 / 0.040, 1e-6);
+}
+
+TEST(WindowedRate, QuietPeriodDragsRateDown) {
+  WindowedRate r(40_ms);
+  r.record(at(0), 4000);
+  const double early = *r.rate_bps(at(10));
+  const double late = *r.rate_bps(at(39));
+  EXPECT_DOUBLE_EQ(early, late);  // denominator is the window, not the span
+  EXPECT_FALSE(r.rate_bps(at(100)).has_value());  // everything evicted
+}
+
+TEST(WindowedRate, EvictsOldSamples) {
+  WindowedRate r(40_ms);
+  r.record(at(0), 1000);
+  r.record(at(50), 1000);
+  const auto rate = r.rate_bps(at(50));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_NEAR(*rate, 1000.0 * 8.0 / 0.040, 1e-6);  // only the new sample
+}
+
+TEST(WindowedMean, MeanAndEviction) {
+  WindowedMean m(40_ms);
+  m.record(at(0), 10.0);
+  m.record(at(10), 20.0);
+  EXPECT_DOUBLE_EQ(*m.mean(at(10)), 15.0);
+  EXPECT_DOUBLE_EQ(*m.mean(at(45)), 20.0);  // first sample evicted
+  EXPECT_FALSE(m.mean(at(100)).has_value());
+}
+
+TEST(WindowedMax, TracksMaximumWithEviction) {
+  WindowedMax m(40_ms);
+  m.record(at(0), 5.0);
+  m.record(at(10), 9.0);
+  m.record(at(20), 3.0);
+  EXPECT_DOUBLE_EQ(m.max(at(20)), 9.0);
+  EXPECT_DOUBLE_EQ(m.max(at(55)), 3.0);  // 9.0 aged out
+  EXPECT_DOUBLE_EQ(m.max(at(100), -1.0), -1.0);
+}
+
+TEST(WindowedMin, TracksMinimumWithEviction) {
+  WindowedMin m(40_ms);
+  m.record(at(0), 5.0);
+  m.record(at(10), 2.0);
+  m.record(at(20), 7.0);
+  EXPECT_DOUBLE_EQ(*m.min(at(20)), 2.0);
+  EXPECT_DOUBLE_EQ(*m.min(at(55)), 7.0);
+  EXPECT_FALSE(m.min(at(200)).has_value());
+}
+
+TEST(WindowedSampler, SamplesOnlyFromWindow) {
+  WindowedSampler s(40_ms);
+  sim::Rng rng(1);
+  s.record(at(0), 1.0);
+  s.record(at(10), 2.0);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = s.sample(at(20), rng);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(*v == 1.0 || *v == 2.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto v = s.sample(at(45), rng);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 2.0);  // 1.0 aged out
+  }
+  EXPECT_FALSE(s.sample(at(100), rng).has_value());
+}
+
+TEST(WindowedSampler, MeanMatchesContents) {
+  WindowedSampler s(1_s);
+  s.record(at(0), 1.0);
+  s.record(at(1), 3.0);
+  EXPECT_DOUBLE_EQ(*s.mean(at(2)), 2.0);
+}
+
+TEST(Ewma, ConvergesTowardInput) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.has_value());
+  e.record(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.record(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.reset();
+  EXPECT_FALSE(e.has_value());
+}
+
+TEST(Distribution, QuantilesOfKnownData) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 100.0);
+  EXPECT_NEAR(d.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(d.quantile(0.99), 99.01, 0.02);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+  EXPECT_NEAR(d.mean(), 50.5, 1e-9);
+}
+
+TEST(Distribution, TailRatios) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.ratio_above(90.0), 0.10);
+  EXPECT_DOUBLE_EQ(d.ratio_below(11.0), 0.10);
+  EXPECT_DOUBLE_EQ(d.ccdf(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.ccdf(0.0), 1.0);
+}
+
+TEST(Distribution, EmptyIsSafe) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.ratio_above(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, InterleavedAddAndQuery) {
+  Distribution d;
+  d.add(5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 5.0);
+  d.add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+}
+
+TEST(Heatmap2D, BinsAreLogSpacedAndRowNormalised) {
+  Heatmap2D h(1.0, 256.0, 8);
+  EXPECT_EQ(h.bin(1.0), 0u);
+  EXPECT_EQ(h.bin(255.0), 7u);
+  EXPECT_EQ(h.bin(0.5), 0u);    // clamped
+  EXPECT_EQ(h.bin(1000.0), 7u);  // clamped
+  h.add(2.0, 2.0);
+  h.add(2.5, 2.0);
+  h.add(100.0, 2.0);
+  const std::size_t row = h.bin(2.0);
+  double rowsum = 0;
+  for (std::size_t x = 0; x < h.bins(); ++x) rowsum += h.cell_row_normalised(x, row);
+  EXPECT_NEAR(rowsum, 1.0, 1e-9);
+  EXPECT_NEAR(h.cell_row_normalised(h.bin(2.0), row), 2.0 / 3.0, 1e-9);
+}
+
+TEST(TimeSeries, TimeAboveThreshold) {
+  TimeSeries ts;
+  ts.record(at(0), 100.0);
+  ts.record(at(10), 300.0);  // above from 10..20
+  ts.record(at(20), 100.0);
+  ts.record(at(30), 250.0);  // above from 30..40 (clamped by `to`)
+  const Duration above = ts.time_above(200.0, at(0), at(40));
+  EXPECT_EQ(above, 20_ms);
+}
+
+TEST(TimeSeries, TimeAboveRespectsRange) {
+  TimeSeries ts;
+  ts.record(at(0), 300.0);
+  EXPECT_EQ(ts.time_above(200.0, at(5), at(15)), 10_ms);
+}
+
+TEST(TimeSeries, TimeBelow) {
+  TimeSeries ts;
+  ts.record(at(0), 5.0);
+  ts.record(at(10), 15.0);
+  EXPECT_EQ(ts.time_below(10.0, at(0), at(20)), 10_ms);
+}
+
+TEST(TimeSeries, LastAboveFindsReconvergence) {
+  TimeSeries ts;
+  ts.record(at(0), 300.0);
+  ts.record(at(10), 100.0);
+  ts.record(at(20), 300.0);
+  ts.record(at(30), 100.0);
+  EXPECT_EQ(ts.last_above(200.0, at(0), at(50)), at(30));
+  EXPECT_EQ(ts.last_above(400.0, at(0), at(50)), at(0));  // never above
+}
+
+TEST(TimeSeries, MeanOverRange) {
+  TimeSeries ts;
+  ts.record(at(0), 10.0);
+  ts.record(at(10), 20.0);
+  ts.record(at(20), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean(at(0), at(20)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean(at(5), at(15)), 20.0);
+}
+
+}  // namespace
+}  // namespace zhuge::stats

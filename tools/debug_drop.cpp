@@ -1,0 +1,33 @@
+// Step-drop microbenchmark probe (Fig. 14/15 shape).
+#include <cstdio>
+#include <string>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "none";   // none|zhuge|fastack|abc
+  const bool tcp = argc > 2 && std::string(argv[2]) == "tcp";
+  const double k = argc > 3 ? atof(argv[3]) : 10.0;
+  // 30 Mbps for 20 s (converge), drop to 30/k for 20 s.
+  const auto drop_at = sim::Duration::seconds(20);
+  const auto tr = trace::step_trace(30e6, 30e6 / k, drop_at, sim::Duration::seconds(40));
+  app::ScenarioConfig cfg;
+  cfg.protocol = tcp ? app::Protocol::kTcp : app::Protocol::kRtp;
+  cfg.tcp_cca = mode == "abc" ? app::TcpCcaKind::kAbc : app::TcpCcaKind::kCopa;
+  cfg.ap.mode = mode == "zhuge" ? app::ApMode::kZhuge
+              : mode == "fastack" ? app::ApMode::kFastAck
+              : mode == "abc" ? app::ApMode::kAbc : app::ApMode::kNone;
+  cfg.channel_trace = &tr;
+  cfg.duration = sim::Duration::seconds(40);
+  cfg.seed = 3;
+  auto r = app::run_scenario(cfg);
+  const auto t0 = sim::TimePoint::zero() + drop_at;
+  const auto t1 = sim::TimePoint::zero() + sim::Duration::seconds(40);
+  const double rtt_dur = r.rtt_series_ms.time_above(200.0, t0, t1).to_seconds();
+  const double fd_dur = r.frame_delay_series_ms.time_above(400.0, t0, t1).to_seconds();
+  std::printf("%-8s %s k=%4.0f  rtt>200ms %6.2f s   fd>400ms %6.2f s  p99 %5.0f  goodput %.2f\n",
+              mode.c_str(), tcp ? "tcp" : "rtp", k, rtt_dur, fd_dur,
+              r.primary().network_rtt_ms.quantile(0.99), r.primary().goodput_bps / 1e6);
+  return 0;
+}

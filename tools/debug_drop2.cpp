@@ -1,0 +1,39 @@
+#include <cstdio>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+using sim::Duration; using sim::TimePoint;
+int main(int argc, char** argv) {
+  std::string mode = argc>1?argv[1]:"none";
+  if (mode == "bulk") {
+    const auto tr = trace::constant_trace(20e6, Duration::seconds(20));
+    app::ScenarioConfig cfg;
+    cfg.channel_trace = &tr; cfg.duration = Duration::seconds(20);
+    cfg.warmup = Duration::seconds(3); cfg.seed = 5;
+    cfg.competing_bulk_flows = 8;
+    auto r = app::run_scenario(cfg);
+    printf("rtc goodput %.2f p90 %.1f p99 %.1f drops %llu\n",
+      r.primary().goodput_bps/1e6, r.primary().network_rtt_ms.quantile(.9),
+      r.primary().network_rtt_ms.quantile(.99), (unsigned long long)r.qdisc_drops);
+    return 0;
+  }
+  const auto tr = trace::step_trace(30e6, 3e6, Duration::seconds(20), Duration::seconds(40));
+  app::ScenarioConfig cfg;
+  cfg.channel_trace = &tr; cfg.duration = Duration::seconds(40);
+  cfg.warmup = Duration::seconds(3); cfg.seed = 3;
+  cfg.video.max_bitrate_bps = 40e6;
+  cfg.ap.mode = mode=="zhuge" ? app::ApMode::kZhuge : app::ApMode::kNone;
+  auto r = app::run_scenario(cfg);
+  const auto& rs = r.rate_series_bps.points();
+  const auto& ts = r.rtt_series_ms.points();
+  size_t j = 0;
+  for (size_t i = 0; i < rs.size(); i += 10) {
+    double t = rs[i].t.to_seconds();
+    if (t < 19.5 || t > 33) continue;
+    while (j + 1 < ts.size() && ts[j+1].t <= rs[i].t) ++j;
+    printf("%.1f rate=%.2f rtt=%.0f\n", t, rs[i].value/1e6, j<ts.size()?ts[j].value:0);
+  }
+  printf("deg %.2f s drops %llu\n",
+    r.rtt_series_ms.time_above(200.0, TimePoint::zero()+Duration::seconds(20), TimePoint::zero()+Duration::seconds(40)).to_seconds(),
+    (unsigned long long)r.qdisc_drops);
+}

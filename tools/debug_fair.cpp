@@ -1,0 +1,15 @@
+#include <cstdio>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+int main() {
+  const auto tr = trace::constant_trace(20e6, sim::Duration::seconds(90));
+  app::ScenarioConfig cfg;
+  cfg.channel_trace = &tr; cfg.duration = sim::Duration::seconds(90);
+  cfg.warmup = sim::Duration::seconds(15); cfg.seed = 11;
+  cfg.protocol = app::Protocol::kRtp; cfg.rtc_flows = 2;
+  cfg.ap.mode = app::ApMode::kZhuge; cfg.optimize_flow = {true, false};
+  cfg.video.max_bitrate_bps = 20e6;
+  auto r = app::run_scenario(cfg);
+  printf("flow1 %.2f flow2 %.2f Mbps\n", r.flows[0].goodput_bps/1e6, r.flows[1].goodput_bps/1e6);
+}

@@ -1,0 +1,25 @@
+#include <cstdio>
+#include <string>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+using sim::Duration; using sim::TimePoint;
+int main() {
+  for (double k : {5.0, 10.0, 20.0}) {
+    for (int z = 0; z < 2; ++z) {
+      printf("k=%2.0f %-5s:", k, z ? "zhuge" : "none");
+      for (uint64_t s = 1; s <= 3; ++s) {
+        const auto tr = trace::step_trace(30e6, 30e6/k, Duration::seconds(20), Duration::seconds(40));
+        app::ScenarioConfig cfg;
+        cfg.channel_trace = &tr; cfg.duration = Duration::seconds(40);
+        cfg.warmup = Duration::seconds(5); cfg.seed = s;
+        cfg.video.max_bitrate_bps = 40e6;
+        cfg.ap.queue_limit_bytes = 100 * 1500;
+        cfg.ap.mode = z ? app::ApMode::kZhuge : app::ApMode::kNone;
+        auto r = app::run_scenario(cfg);
+        printf(" %6.2f", r.rtt_series_ms.time_above(200.0, TimePoint::zero()+Duration::seconds(20), TimePoint::zero()+Duration::seconds(40)).to_seconds());
+      }
+      printf("\n");
+    }
+  }
+}

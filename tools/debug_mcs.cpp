@@ -1,0 +1,26 @@
+#include <cstdio>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+int main(int argc, char** argv) {
+  app::ScenarioConfig cfg;
+  cfg.mcs_index = 5; cfg.mcs_random_switch = true;
+  cfg.video.max_bitrate_bps = 12e6;
+
+  cfg.duration = sim::Duration::seconds(240);
+  cfg.warmup = sim::Duration::seconds(5);
+  cfg.seed = 9;
+  cfg.ap.mode = (argc>1 && std::string(argv[1])=="zhuge") ? app::ApMode::kZhuge : app::ApMode::kNone;
+  auto r = app::run_scenario(cfg);
+  const auto& ts = r.rtt_series_ms.points();
+  const auto& rs = r.rate_series_bps.points();
+  size_t j = 0;
+  for (size_t i = 0; i < rs.size(); i += 20) {
+    while (j + 1 < ts.size() && ts[j+1].t <= rs[i].t) ++j;
+    printf("%.0f rate=%.1f rtt=%.0f\n", rs[i].t.to_seconds(), rs[i].value/1e6,
+           j < ts.size() ? ts[j].value : 0.0);
+  }
+  printf("ratio200=%.3f goodput=%.2f drops=%llu\n",
+         r.primary().network_rtt_ms.ratio_above(200),
+         r.primary().goodput_bps/1e6, (unsigned long long)r.qdisc_drops);
+}

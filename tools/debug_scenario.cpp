@@ -1,0 +1,40 @@
+// Internal debug driver (not part of the library API).
+#include <cstdio>
+#include <string>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+
+int main(int argc, char** argv) {
+  const bool with_zhuge = argc > 1 && std::string(argv[1]) == "zhuge";
+  const bool tcp = argc > 2 && std::string(argv[2]) == "tcp";
+  const int secs = argc > 3 ? atoi(argv[3]) : 120;
+  const trace::Trace tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 7,
+                                            sim::Duration::seconds(secs));
+  app::ScenarioConfig cfg;
+  cfg.protocol = tcp ? app::Protocol::kTcp : app::Protocol::kRtp;
+  cfg.tcp_cca = app::TcpCcaKind::kCopa;
+  cfg.ap.mode = with_zhuge ? app::ApMode::kZhuge : app::ApMode::kNone;
+  cfg.channel_trace = &tr;
+  cfg.duration = sim::Duration::seconds(secs);
+  cfg.seed = 42;
+  auto r = app::run_scenario(cfg);
+  // Join rate and rtt series on time grid
+  std::printf("# time rate_mbps rtt_ms\n");
+  const auto& rs = r.rate_series_bps.points();
+  const auto& ts = r.rtt_series_ms.points();
+  size_t j = 0;
+  for (size_t i = 0; i < rs.size(); i += 10) {
+    while (j + 1 < ts.size() && ts[j+1].t <= rs[i].t) ++j;
+    std::printf("S %.1f %.2f %.0f\n", rs[i].t.to_seconds(), rs[i].value/1e6,
+                j < ts.size() ? ts[j].value : 0.0);
+  }
+  std::printf("drops %llu pred_err_mean %.1f p99rtt %.0f ratio200 %.3f fd400 %.3f goodput %.2f\n",
+      (unsigned long long)r.qdisc_drops,
+      r.prediction_error_ms.mean(),
+      r.primary().network_rtt_ms.quantile(0.99),
+      r.primary().network_rtt_ms.ratio_above(200),
+      r.primary().frame_delay_ms.ratio_above(400),
+      r.primary().goodput_bps/1e6);
+  return 0;
+}

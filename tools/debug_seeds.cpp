@@ -1,0 +1,30 @@
+#include <cstdio>
+#include <string>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+int main(int argc, char** argv) {
+  const bool tcp = argc > 1 && std::string(argv[1]) == "tcp";
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (int z = 0; z < 2; ++z) {
+      const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, seed * 13,
+                                        sim::Duration::seconds(150));
+      app::ScenarioConfig cfg;
+      cfg.protocol = tcp ? app::Protocol::kTcp : app::Protocol::kRtp;
+      cfg.ap.mode = z ? app::ApMode::kZhuge : app::ApMode::kNone;
+      cfg.channel_trace = &tr;
+      cfg.duration = sim::Duration::seconds(150);
+      cfg.seed = seed;
+      auto r = app::run_scenario(cfg);
+      std::printf("seed %llu %-6s ratio200=%.4f fd400=%.4f p99=%.0f goodput=%.2f down200=%.4f retx=%llu\n",
+                  (unsigned long long)seed, z ? "zhuge" : "none",
+                  r.primary().network_rtt_ms.ratio_above(200),
+                  r.primary().frame_delay_ms.ratio_above(400),
+                  r.primary().network_rtt_ms.quantile(.99),
+                  r.primary().goodput_bps / 1e6,
+                  r.primary().downlink_owd_ms.ratio_above(150),
+                  (unsigned long long)r.tcp_retransmissions);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include <cstdio>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+int main() {
+  const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 26, sim::Duration::seconds(150));
+  app::ScenarioConfig cfg;
+  cfg.protocol = app::Protocol::kTcp;
+  cfg.ap.mode = app::ApMode::kNone;
+  cfg.channel_trace = &tr;
+  cfg.duration = sim::Duration::seconds(150);
+  cfg.seed = 2;
+  auto r = app::run_scenario(cfg);
+  // find worst rtt sample
+  const auto& ts = r.rtt_series_ms.points();
+  size_t worst = 0;
+  for (size_t i = 0; i < ts.size(); ++i) if (ts[i].value > ts[worst].value) worst = i;
+  const double t0 = ts[worst].t.to_seconds();
+  std::printf("worst rtt %.0f ms at t=%.2f s\n", ts[worst].value, t0);
+  for (const auto& p : ts) {
+    const double t = p.t.to_seconds();
+    if (t > t0 - 1.5 && t < t0 + 1.5) std::printf("A %.3f %.0f\n", t, p.value);
+  }
+  // channel rate around that time
+  for (double t = t0 - 1.5; t < t0 + 1.5; t += 0.2)
+    std::printf("C %.2f %.2f Mbps\n", t, tr.rate_at(sim::TimePoint{(int64_t)(t*1e9)})/1e6);
+  return 0;
+}

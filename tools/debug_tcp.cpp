@@ -1,0 +1,24 @@
+#include <cstdio>
+#include "app/scenario.hpp"
+#include "trace/synthetic.hpp"
+using namespace zhuge;
+int main() {
+  const auto tr = trace::constant_trace(30e6, sim::Duration::seconds(40));
+  app::ScenarioConfig cfg;
+  cfg.protocol = app::Protocol::kTcp;
+  cfg.channel_trace = &tr;
+  cfg.duration = sim::Duration::seconds(40);
+  cfg.seed = 3;
+  auto r = app::run_scenario(cfg);
+  const auto& f = r.primary();
+  std::printf("frames sent(decoded)=%llu fd p50=%.0f p90=%.0f p99=%.0f fd>400=%.3f\n",
+    (unsigned long long)f.frames_decoded, f.frame_delay_ms.quantile(.5),
+    f.frame_delay_ms.quantile(.9), f.frame_delay_ms.quantile(.99),
+    f.frame_delay_ms.ratio_above(400));
+  std::printf("rtt p50=%.0f p99=%.0f  goodput=%.2f sender_rtt p50=%.0f\n",
+    f.network_rtt_ms.quantile(.5), f.network_rtt_ms.quantile(.99),
+    f.goodput_bps/1e6, r.sender_rtt_ms.quantile(.5));
+  // fps distribution
+  std::printf("fps p10=%.0f p50=%.0f\n", f.frame_rate_fps.quantile(.1), f.frame_rate_fps.quantile(.5));
+  return 0;
+}
