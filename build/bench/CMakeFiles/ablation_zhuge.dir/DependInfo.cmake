@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_zhuge.cpp" "bench/CMakeFiles/ablation_zhuge.dir/ablation_zhuge.cpp.o" "gcc" "bench/CMakeFiles/ablation_zhuge.dir/ablation_zhuge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/zhuge_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/zhuge_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/zhuge_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/zhuge_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zhuge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zhuge_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zhuge.dir/ablation_zhuge.cpp.o"
+  "CMakeFiles/ablation_zhuge.dir/ablation_zhuge.cpp.o.d"
+  "ablation_zhuge"
+  "ablation_zhuge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zhuge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_motivation_cdf.dir/fig02_motivation_cdf.cpp.o"
+  "CMakeFiles/fig02_motivation_cdf.dir/fig02_motivation_cdf.cpp.o.d"
+  "fig02_motivation_cdf"
+  "fig02_motivation_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivation_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

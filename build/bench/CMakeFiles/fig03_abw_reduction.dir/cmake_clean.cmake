@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_abw_reduction.dir/fig03_abw_reduction.cpp.o"
+  "CMakeFiles/fig03_abw_reduction.dir/fig03_abw_reduction.cpp.o.d"
+  "fig03_abw_reduction"
+  "fig03_abw_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_abw_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_control_loop.dir/fig04_control_loop.cpp.o"
+  "CMakeFiles/fig04_control_loop.dir/fig04_control_loop.cpp.o.d"
+  "fig04_control_loop"
+  "fig04_control_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_control_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

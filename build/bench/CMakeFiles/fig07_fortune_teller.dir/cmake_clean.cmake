@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fortune_teller.dir/fig07_fortune_teller.cpp.o"
+  "CMakeFiles/fig07_fortune_teller.dir/fig07_fortune_teller.cpp.o.d"
+  "fig07_fortune_teller"
+  "fig07_fortune_teller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fortune_teller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

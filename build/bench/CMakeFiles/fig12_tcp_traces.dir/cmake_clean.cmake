@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tcp_traces.dir/fig12_tcp_traces.cpp.o"
+  "CMakeFiles/fig12_tcp_traces.dir/fig12_tcp_traces.cpp.o.d"
+  "fig12_tcp_traces"
+  "fig12_tcp_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tcp_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tail_cdfs.dir/fig13_tail_cdfs.cpp.o"
+  "CMakeFiles/fig13_tail_cdfs.dir/fig13_tail_cdfs.cpp.o.d"
+  "fig13_tail_cdfs"
+  "fig13_tail_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tail_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rtp_abw_drop.dir/fig14_rtp_abw_drop.cpp.o"
+  "CMakeFiles/fig14_rtp_abw_drop.dir/fig14_rtp_abw_drop.cpp.o.d"
+  "fig14_rtp_abw_drop"
+  "fig14_rtp_abw_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rtp_abw_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

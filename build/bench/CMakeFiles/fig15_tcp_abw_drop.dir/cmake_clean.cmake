@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tcp_abw_drop.dir/fig15_tcp_abw_drop.cpp.o"
+  "CMakeFiles/fig15_tcp_abw_drop.dir/fig15_tcp_abw_drop.cpp.o.d"
+  "fig15_tcp_abw_drop"
+  "fig15_tcp_abw_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tcp_abw_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_tcp_abw_drop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_flow_competition.dir/fig16_flow_competition.cpp.o"
+  "CMakeFiles/fig16_flow_competition.dir/fig16_flow_competition.cpp.o.d"
+  "fig16_flow_competition"
+  "fig16_flow_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_flow_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_flow_competition.
+# This may be replaced when dependencies are built.

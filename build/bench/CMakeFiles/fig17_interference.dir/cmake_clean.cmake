@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_interference.dir/fig17_interference.cpp.o"
+  "CMakeFiles/fig17_interference.dir/fig17_interference.cpp.o.d"
+  "fig17_interference"
+  "fig17_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

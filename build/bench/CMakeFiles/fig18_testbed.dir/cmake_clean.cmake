@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_testbed.dir/fig18_testbed.cpp.o"
+  "CMakeFiles/fig18_testbed.dir/fig18_testbed.cpp.o.d"
+  "fig18_testbed"
+  "fig18_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_fairness.dir/fig20_fairness.cpp.o"
+  "CMakeFiles/fig20_fairness.dir/fig20_fairness.cpp.o.d"
+  "fig20_fairness"
+  "fig20_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_framerate_traces.dir/fig22_framerate_traces.cpp.o"
+  "CMakeFiles/fig22_framerate_traces.dir/fig22_framerate_traces.cpp.o.d"
+  "fig22_framerate_traces"
+  "fig22_framerate_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_framerate_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

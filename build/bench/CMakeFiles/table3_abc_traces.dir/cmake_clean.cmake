@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_abc_traces.dir/table3_abc_traces.cpp.o"
+  "CMakeFiles/table3_abc_traces.dir/table3_abc_traces.cpp.o.d"
+  "table3_abc_traces"
+  "table3_abc_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_abc_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

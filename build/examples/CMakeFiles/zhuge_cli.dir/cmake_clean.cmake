@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_cli.dir/zhuge_cli.cpp.o"
+  "CMakeFiles/zhuge_cli.dir/zhuge_cli.cpp.o.d"
+  "zhuge_cli"
+  "zhuge_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

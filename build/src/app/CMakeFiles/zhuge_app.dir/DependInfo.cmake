@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/access_point.cpp" "src/app/CMakeFiles/zhuge_app.dir/access_point.cpp.o" "gcc" "src/app/CMakeFiles/zhuge_app.dir/access_point.cpp.o.d"
+  "/root/repo/src/app/scenario.cpp" "src/app/CMakeFiles/zhuge_app.dir/scenario.cpp.o" "gcc" "src/app/CMakeFiles/zhuge_app.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zhuge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/zhuge_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/zhuge_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/cca/CMakeFiles/zhuge_cca.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zhuge_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_app.dir/access_point.cpp.o"
+  "CMakeFiles/zhuge_app.dir/access_point.cpp.o.d"
+  "CMakeFiles/zhuge_app.dir/scenario.cpp.o"
+  "CMakeFiles/zhuge_app.dir/scenario.cpp.o.d"
+  "libzhuge_app.a"
+  "libzhuge_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_cca.dir/gcc.cpp.o"
+  "CMakeFiles/zhuge_cca.dir/gcc.cpp.o.d"
+  "CMakeFiles/zhuge_cca.dir/nada.cpp.o"
+  "CMakeFiles/zhuge_cca.dir/nada.cpp.o.d"
+  "libzhuge_cca.a"
+  "libzhuge_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

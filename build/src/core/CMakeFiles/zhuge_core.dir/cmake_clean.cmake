@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_core.dir/fortune_teller.cpp.o"
+  "CMakeFiles/zhuge_core.dir/fortune_teller.cpp.o.d"
+  "libzhuge_core.a"
+  "libzhuge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_sim.dir/simulator.cpp.o"
+  "CMakeFiles/zhuge_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/zhuge_sim.dir/time.cpp.o"
+  "CMakeFiles/zhuge_sim.dir/time.cpp.o.d"
+  "libzhuge_sim.a"
+  "libzhuge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/zhuge_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/zhuge_trace.dir/trace.cpp.o"
+  "CMakeFiles/zhuge_trace.dir/trace.cpp.o.d"
+  "libzhuge_trace.a"
+  "libzhuge_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhuge_transport.dir/rtp_receiver.cpp.o"
+  "CMakeFiles/zhuge_transport.dir/rtp_receiver.cpp.o.d"
+  "CMakeFiles/zhuge_transport.dir/rtp_sender.cpp.o"
+  "CMakeFiles/zhuge_transport.dir/rtp_sender.cpp.o.d"
+  "CMakeFiles/zhuge_transport.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/zhuge_transport.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/zhuge_transport.dir/tcp_sender.cpp.o"
+  "CMakeFiles/zhuge_transport.dir/tcp_sender.cpp.o.d"
+  "libzhuge_transport.a"
+  "libzhuge_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhuge_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortune_teller_test.dir/fortune_teller_test.cpp.o"
+  "CMakeFiles/fortune_teller_test.dir/fortune_teller_test.cpp.o.d"
+  "fortune_teller_test"
+  "fortune_teller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortune_teller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

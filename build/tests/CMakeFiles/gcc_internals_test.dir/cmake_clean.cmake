@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcc_internals_test.dir/gcc_internals_test.cpp.o"
+  "CMakeFiles/gcc_internals_test.dir/gcc_internals_test.cpp.o.d"
+  "gcc_internals_test"
+  "gcc_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcc_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_drop.dir/debug_drop.cpp.o"
+  "CMakeFiles/debug_drop.dir/debug_drop.cpp.o.d"
+  "debug_drop"
+  "debug_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_drop2.dir/debug_drop2.cpp.o"
+  "CMakeFiles/debug_drop2.dir/debug_drop2.cpp.o.d"
+  "debug_drop2"
+  "debug_drop2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_drop2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_fair.dir/debug_fair.cpp.o"
+  "CMakeFiles/debug_fair.dir/debug_fair.cpp.o.d"
+  "debug_fair"
+  "debug_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_k5.dir/debug_k5.cpp.o"
+  "CMakeFiles/debug_k5.dir/debug_k5.cpp.o.d"
+  "debug_k5"
+  "debug_k5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_k5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

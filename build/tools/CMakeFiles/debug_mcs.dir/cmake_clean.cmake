@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_mcs.dir/debug_mcs.cpp.o"
+  "CMakeFiles/debug_mcs.dir/debug_mcs.cpp.o.d"
+  "debug_mcs"
+  "debug_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

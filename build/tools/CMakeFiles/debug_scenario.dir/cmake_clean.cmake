@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_scenario.dir/debug_scenario.cpp.o"
+  "CMakeFiles/debug_scenario.dir/debug_scenario.cpp.o.d"
+  "debug_scenario"
+  "debug_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_seeds.dir/debug_seeds.cpp.o"
+  "CMakeFiles/debug_seeds.dir/debug_seeds.cpp.o.d"
+  "debug_seeds"
+  "debug_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_spike.dir/debug_spike.cpp.o"
+  "CMakeFiles/debug_spike.dir/debug_spike.cpp.o.d"
+  "debug_spike"
+  "debug_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
