@@ -58,7 +58,8 @@ void run_table(const std::vector<Variant>& variants) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Ablations of Zhuge's design choices ===\n");
 
   std::printf("\n--- Fortune Teller (RTP/GCC path) ---\n");

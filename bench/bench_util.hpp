@@ -1,13 +1,18 @@
 #pragma once
 // Shared helpers for the figure/table reproduction benches. Each bench is
-// a standalone binary (no arguments) that prints the same rows/series the
-// paper's figure reports; EXPERIMENTS.md records the mapping.
+// a standalone binary that prints the same rows/series the paper's figure
+// reports; EXPERIMENTS.md records the mapping. Every bench accepts
+// `--trace out.json` / `--metrics out.json` (see ObsSession below).
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "app/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "trace/synthetic.hpp"
 
 namespace zhuge::bench {
@@ -157,5 +162,61 @@ inline const char* mode_name(ApMode m) {
   }
   return "?";
 }
+
+/// Observability session for a bench binary. Parses
+///   --trace <file>     enable the event tracer, dump on exit
+///                      (.json = Chrome trace_event, .jsonl, .csv)
+///   --metrics <file>   enable the metrics registry, dump JSON on exit
+/// and writes the requested files when it goes out of scope. With neither
+/// flag, instrumentation stays disabled and the run is unchanged.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+        obs::set_tracing_enabled(true);
+      } else if (arg == "--metrics" && i + 1 < argc) {
+        metrics_path_ = argv[++i];
+        obs::set_metrics_enabled(true);
+      }
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (!trace_path_.empty()) {
+      if (obs::write_trace_file(obs::tracer(), trace_path_)) {
+        std::fprintf(stderr, "[obs] trace: %s (%zu events",
+                     trace_path_.c_str(), obs::tracer().size());
+        if (obs::tracer().overwritten() > 0) {
+          std::fprintf(stderr, ", %llu overwritten",
+                       static_cast<unsigned long long>(obs::tracer().overwritten()));
+        }
+        std::fprintf(stderr, ")\n");
+      } else {
+        std::fprintf(stderr, "[obs] failed to write trace: %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      if (obs::write_metrics_file(obs::metrics(), metrics_path_)) {
+        std::fprintf(stderr, "[obs] metrics: %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] failed to write metrics: %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    obs::set_tracing_enabled(false);
+    obs::set_metrics_enabled(false);
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 }  // namespace zhuge::bench

@@ -7,7 +7,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 2: access-technology tails (GCC/RTP, %ds per run) ===\n", 240);
   const Duration dur = Duration::seconds(240);
   const std::vector<double> rtt_thresh = {100, 150, 200, 400, 800};

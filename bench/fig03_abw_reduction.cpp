@@ -7,7 +7,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 3(b): ABW reduction ratio distribution (200 ms windows) ===\n");
   const Duration dur = Duration::seconds(1200);
   const std::vector<double> ks = {1.25, 2, 5, 10, 20, 50};

@@ -29,7 +29,8 @@ double rate_convergence_secs(const app::ScenarioResult& r, double post_capacity_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 4: convergence after a bandwidth drop (30 Mbps -> 30/k) ===\n");
   const Duration drop_at = Duration::seconds(20);
   const Duration dur = Duration::seconds(40);

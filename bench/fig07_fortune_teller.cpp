@@ -15,7 +15,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 7: qLong/qShort reaction to an ABW drop at t=5ms ===\n");
   sim::Simulator simu;
   sim::Rng rng(1);

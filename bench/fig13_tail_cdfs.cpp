@@ -7,7 +7,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 13: tail CDFs on W1 and C1 (RTP/GCC) ===\n");
   const Duration dur = Duration::seconds(300);
 

@@ -7,7 +7,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 14: RTP degradation durations after ABW drop ===\n");
   const Duration drop_at = Duration::seconds(20);
   const Duration dur = Duration::seconds(40);

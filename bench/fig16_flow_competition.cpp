@@ -7,7 +7,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 16: RTP under competing CUBIC bulk flows ===\n");
   const Duration dur = Duration::seconds(60);
   const Duration measure_from = Duration::seconds(5);

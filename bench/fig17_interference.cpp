@@ -8,7 +8,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 17: RTP under wireless interference ===\n");
   const Duration dur = Duration::seconds(60);
   const Duration measure_from = Duration::seconds(5);

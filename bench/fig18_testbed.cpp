@@ -41,7 +41,8 @@ app::ScenarioResult run_case(const char* scenario, ApMode mode, std::uint64_t se
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 18: testbed-style scenarios (scp / mcs / raw) ===\n");
   const auto office = trace::make_trace(trace::TraceKind::kOfficeWifi, 31,
                                         Duration::seconds(240));

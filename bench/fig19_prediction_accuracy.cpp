@@ -9,7 +9,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 19: Fortune Teller prediction accuracy ===\n");
   const Duration dur = Duration::seconds(150);
 

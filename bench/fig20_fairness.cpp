@@ -40,7 +40,8 @@ Bar run_bar(Protocol protocol, ApMode mode, std::vector<bool> optimize,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 20: fairness of Zhuge (goodput normalised by capacity) ===\n");
   const double capacity = 20e6;
   const auto tr = trace::constant_trace(capacity, Duration::seconds(300));

@@ -6,7 +6,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Fig. 22: low-frame-rate ratio over traces ===\n");
   const Duration dur = Duration::seconds(150);
   const int seeds = 3;

@@ -7,7 +7,8 @@
 using namespace zhuge;
 using namespace zhuge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  zhuge::bench::ObsSession obs_session(argc, argv);
   std::printf("=== Table 3: ABC's legacy low-bandwidth cellular traces ===\n");
   const Duration dur = Duration::seconds(150);
   const int seeds = 3;

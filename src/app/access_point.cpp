@@ -1,5 +1,8 @@
 #include "app/access_point.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace zhuge::app {
 
 namespace {
@@ -85,6 +88,7 @@ Duration AccessPoint::instantaneous_queue_delay(TimePoint now) const {
 
 void AccessPoint::from_wan(Packet p) {
   const TimePoint now = sim_.now();
+  ZHUGE_METRIC_INC("ap.downlink_packets");
   if (abc_router_ != nullptr && p.is_tcp() && !p.tcp().is_ack) {
     p.tcp().abc_mark =
         abc_router_->mark(p.size_bytes, instantaneous_queue_delay(now), now);
@@ -149,9 +153,17 @@ void AccessPoint::from_client(Packet p) {
   // hold an out-of-band ACK on the retreatable release queue, or pass).
   if (auto* zf = zhuge_flow(p.flow.reversed()); zf != nullptr) {
     switch (zf->handle_uplink(std::move(p))) {
-      case core::UplinkAction::kDrop: ++uplink_dropped_; break;
-      case core::UplinkAction::kDelay: ++uplink_delayed_; break;
-      case core::UplinkAction::kForward: break;
+      case core::UplinkAction::kDrop:
+        ++uplink_dropped_;
+        ZHUGE_METRIC_INC("ap.uplink_dropped");
+        break;
+      case core::UplinkAction::kDelay:
+        ++uplink_delayed_;
+        ZHUGE_METRIC_INC("ap.uplink_delayed");
+        break;
+      case core::UplinkAction::kForward:
+        ZHUGE_METRIC_INC("ap.uplink_forwarded");
+        break;
     }
     return;
   }

@@ -8,6 +8,8 @@
 #include "cca/cubic.hpp"
 #include "net/link.hpp"
 #include "net/seq.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "queue/fifo.hpp"
 #include "transport/rtp_receiver.hpp"
 #include "transport/tcp_receiver.hpp"
@@ -265,6 +267,9 @@ void Scenario::build_rtc_flow(std::size_t index) {
         if (index == 0) result_.sender_rtt_ms.add(rtt.to_millis());
       }
       if (index == 0) result_.rtt_series_ms.record(now, rtt.to_millis());
+      ZHUGE_METRIC_OBSERVE("app.rtt_ms", rtt.to_millis());
+      ZHUGE_TRACE(now, "app", "rtt", {"rtt_ms", rtt.to_millis()},
+                  {"flow", double(index)});
     });
     f->tcp_encoder = std::make_unique<rtc::VideoEncoder>(cfg_.video, *rng_);
 
@@ -345,6 +350,12 @@ void Scenario::sample_series() {
                  : 0.0;
     }
     result_.rate_series_bps.record(sim_.now(), rate);
+    ZHUGE_METRIC_SET("app.flow0.target_rate_bps", rate);
+    ZHUGE_METRIC_SET("ap.queue_depth_bytes",
+                     double(ap_->downlink_qdisc().byte_count()));
+    ZHUGE_TRACE(sim_.now(), "app", "sample", {"rate_mbps", rate / 1e6},
+                {"ap_queue_bytes", double(ap_->downlink_qdisc().byte_count())},
+                {"sim_pending", double(sim_.pending())});
   }
   sim_.schedule_after(Duration::millis(50), [this] { sample_series(); });
 }
@@ -393,6 +404,10 @@ void Scenario::handle_delivery_metrics(const Packet& p, RtcFlow& f) {
   if (!is_tcp_flow && &f == rtc_flows_.front().get()) {
     result_.rtt_series_ms.record(now, rtt_ms);
   }
+  if (!is_tcp_flow) {
+    ZHUGE_METRIC_OBSERVE("app.rtt_ms", rtt_ms);
+    ZHUGE_TRACE(now, "app", "rtt", {"rtt_ms", rtt_ms}, {"owd_ms", down_ms});
+  }
   if (now >= warmup_end_) {
     if (!is_tcp_flow) f.network_rtt_ms.add(rtt_ms);
     f.downlink_owd_ms.add(down_ms);
@@ -401,6 +416,11 @@ void Scenario::handle_delivery_metrics(const Packet& p, RtcFlow& f) {
       const double actual_ms = (now - p.ap_enqueue_time).to_millis();
       result_.prediction_error_ms.add(std::abs(p.predicted_delay_ms - actual_ms));
       result_.predicted_vs_real_ms.emplace_back(p.predicted_delay_ms, actual_ms);
+      ZHUGE_METRIC_OBSERVE("fortune.abs_error_ms",
+                           std::abs(p.predicted_delay_ms - actual_ms));
+      ZHUGE_TRACE(now, "app", "delivery",
+                  {"predicted_ms", p.predicted_delay_ms},
+                  {"actual_ms", actual_ms}, {"owd_ms", down_ms});
     }
   }
 }
@@ -455,6 +475,24 @@ ScenarioResult Scenario::run() {
     result_.tcp_retransmissions = rtc_flows_.front()->tcp_sender->retransmissions();
   }
   result_.events_executed = sim_.events_executed();
+
+  // End-of-run summary gauges (simulator accounting + per-flow results).
+  if (obs::metrics_enabled()) {
+    ZHUGE_METRIC_SET("sim.events_executed", double(sim_.events_executed()));
+    ZHUGE_METRIC_SET("sim.events_scheduled", double(sim_.events_scheduled()));
+    ZHUGE_METRIC_SET("sim.events_cancelled", double(sim_.events_cancelled()));
+    ZHUGE_METRIC_SET("ap.qdisc_drops", double(result_.qdisc_drops));
+    for (std::size_t i = 0; i < result_.flows.size(); ++i) {
+      const auto& fr = result_.flows[i];
+      const std::string prefix = "app.flow" + std::to_string(i);
+      ZHUGE_METRIC_SET(prefix + ".goodput_bps", fr.goodput_bps);
+      ZHUGE_METRIC_SET(prefix + ".frames_decoded", double(fr.frames_decoded));
+      if (fr.network_rtt_ms.count() > 0) {
+        ZHUGE_METRIC_SET(prefix + ".rtt_p50_ms", fr.network_rtt_ms.quantile(0.5));
+        ZHUGE_METRIC_SET(prefix + ".rtt_p95_ms", fr.network_rtt_ms.quantile(0.95));
+      }
+    }
+  }
   return std::move(result_);
 }
 

@@ -18,6 +18,8 @@
 #include <functional>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -58,6 +60,11 @@ class InbandFeedbackUpdater {
     TimePoint predicted_recv = sim_.now() + predicted_delay;
     if (predicted_recv < last_reported_recv_) predicted_recv = last_reported_recv_;
     last_reported_recv_ = predicted_recv;
+    ZHUGE_METRIC_INC("feedback.inband.rtp_recorded");
+    ZHUGE_TRACE(sim_.now(), "feedback.inband", "record_fortune",
+                {"twcc_seq", double(rtp.twcc_seq)},
+                {"predicted_delay_ms", predicted_delay.to_millis()},
+                {"pending", double(pending_.size() + 1)});
     pending_.push_back({rtp.twcc_seq, predicted_recv});
     if (!timer_armed_) {
       timer_armed_ = true;
@@ -97,6 +104,9 @@ class InbandFeedbackUpdater {
       p.sent_time = sim_.now();
       p.header = net::RtcpHeader{std::move(fb)};
       ++feedback_sent_;
+      ZHUGE_METRIC_INC("feedback.inband.twcc_sent");
+      ZHUGE_TRACE(sim_.now(), "feedback.inband", "twcc_flush",
+                  {"entries", double(n)}, {"backlog", double(pending_.size())});
       send_feedback_(std::move(p));
     }
     if (!pending_.empty()) {

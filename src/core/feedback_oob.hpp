@@ -34,6 +34,8 @@
 #include <memory>
 
 #include "core/ack_scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -97,6 +99,10 @@ class OobFeedbackUpdater {
       total_delay = last_total_delay_ +
                     (total_delay - last_total_delay_) * cfg_.delta_smoothing_alpha;
       const Duration delta = total_delay - last_total_delay_;
+      ZHUGE_TRACE(now, "feedback.oob", "data_delta",
+                  {"delta_ms", delta.to_millis()},
+                  {"smoothed_total_ms", total_delay.to_millis()},
+                  {"token_total_ms", token_total_.to_millis()});
       if (delta >= Duration::zero()) {
         observed_shift_ += delta;
         if (cfg_.distributional_sampling) {
@@ -136,6 +142,11 @@ class OobFeedbackUpdater {
     const Duration actual = floor + extra;
     last_sent_time_ = now + actual;
     has_sent_ = true;
+    ZHUGE_METRIC_INC("feedback.oob.acks");
+    ZHUGE_METRIC_OBSERVE("feedback.oob.ack_hold_ms", actual.to_millis());
+    ZHUGE_TRACE(now, "feedback.oob", "ack_hold", {"hold_ms", actual.to_millis()},
+                {"floor_ms", floor.to_millis()}, {"extra_ms", extra.to_millis()},
+                {"pending_holds", double(pending_holds())});
     return actual;
   }
 

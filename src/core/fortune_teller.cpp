@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace zhuge::core {
 
 void FortuneTeller::on_dequeue(std::int64_t bytes, TimePoint now,
@@ -87,6 +90,13 @@ FortuneTeller::Prediction FortuneTeller::predict(
     out.q_short = out.q_short * scale;
     out.tx = out.tx * scale;
   }
+
+  ZHUGE_METRIC_INC("fortune.predictions");
+  ZHUGE_METRIC_OBSERVE("fortune.predicted_ms", out.total().to_millis());
+  ZHUGE_TRACE(now, "fortune", "predict", {"qLong_ms", out.q_long.to_millis()},
+              {"qShort_ms", out.q_short.to_millis()},
+              {"tx_ms", out.tx.to_millis()},
+              {"queue_bytes", double(queue_bytes)}, {"rate_mbps", rate / 1e6});
   return out;
 }
 

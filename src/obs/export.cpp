@@ -1,0 +1,209 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string_view>
+
+namespace zhuge::obs {
+
+namespace {
+
+/// JSON string escaping for the small set of characters our names can
+/// plausibly contain. Values are all numeric, so this only guards names.
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+/// JSON has no Inf/NaN; clamp them to null-safe sentinels.
+void write_number(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "0";
+    return;
+  }
+  if (std::isinf(v)) {
+    out << (v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+void write_fields_object(std::ostream& out, const TraceEvent& ev) {
+  out << '{';
+  for (std::uint8_t i = 0; i < ev.n_fields; ++i) {
+    if (i > 0) out << ',';
+    write_escaped(out, ev.fields[i].key);
+    out << ':';
+    write_number(out, ev.fields[i].value);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
+  // Stable component -> tid mapping, in order of first appearance.
+  std::map<std::string_view, int> tids;
+  tracer.for_each([&](const TraceEvent& ev) {
+    tids.emplace(ev.component, 0);
+  });
+  int next_tid = 1;
+  for (auto& [component, tid] : tids) tid = next_tid++;
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [component, tid] : tids) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    write_escaped(out, component);
+    out << "}}";
+  }
+  tracer.for_each([&](const TraceEvent& ev) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+        << tids[ev.component] << ",\"ts\":";
+    write_number(out, static_cast<double>(ev.t_ns) / 1e3);
+    out << ",\"name\":";
+    write_escaped(out, ev.name);
+    out << ",\"cat\":";
+    write_escaped(out, ev.component);
+    out << ",\"args\":";
+    write_fields_object(out, ev);
+    out << '}';
+  });
+  out << "]}\n";
+}
+
+void write_trace_jsonl(const Tracer& tracer, std::ostream& out) {
+  tracer.for_each([&](const TraceEvent& ev) {
+    out << "{\"t_us\":";
+    write_number(out, static_cast<double>(ev.t_ns) / 1e3);
+    out << ",\"component\":";
+    write_escaped(out, ev.component);
+    out << ",\"name\":";
+    write_escaped(out, ev.name);
+    out << ",\"fields\":";
+    write_fields_object(out, ev);
+    out << "}\n";
+  });
+}
+
+void write_trace_csv(const Tracer& tracer, std::ostream& out) {
+  out << "t_us,component,name,field,value\n";
+  tracer.for_each([&](const TraceEvent& ev) {
+    char t_buf[32];
+    std::snprintf(t_buf, sizeof(t_buf), "%.3f", static_cast<double>(ev.t_ns) / 1e3);
+    if (ev.n_fields == 0) {
+      out << t_buf << ',' << ev.component << ',' << ev.name << ",,\n";
+      return;
+    }
+    for (std::uint8_t i = 0; i < ev.n_fields; ++i) {
+      out << t_buf << ',' << ev.component << ',' << ev.name << ','
+          << ev.fields[i].key << ',';
+      write_number(out, ev.fields[i].value);
+      out << '\n';
+    }
+  });
+}
+
+void write_metrics_json(const Registry& registry, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    ";
+    write_escaped(out, name);
+    out << ": " << c.value();
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    ";
+    write_escaped(out, name);
+    out << ": ";
+    write_number(out, g.value());
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    ";
+    write_escaped(out, name);
+    out << ": {\"count\": " << h.count() << ", \"sum\": ";
+    write_number(out, h.sum());
+    out << ", \"min\": ";
+    write_number(out, h.min());
+    out << ", \"max\": ";
+    write_number(out, h.max());
+    out << ", \"p50\": ";
+    write_number(out, h.quantile(0.50));
+    out << ", \"p95\": ";
+    write_number(out, h.quantile(0.95));
+    out << ", \"p99\": ";
+    write_number(out, h.quantile(0.99));
+    out << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+      if (h.bucket_value(i) == 0) continue;
+      if (!first_bucket) out << ',';
+      first_bucket = false;
+      out << "{\"ge\": ";
+      write_number(out, h.bucket_lower(i));
+      out << ", \"n\": " << h.bucket_value(i) << '}';
+    }
+    out << "]}";
+  }
+  out << "\n  }\n}\n";
+}
+
+namespace {
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool write_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (ends_with(path, ".jsonl")) {
+    write_trace_jsonl(tracer, out);
+  } else if (ends_with(path, ".csv")) {
+    write_trace_csv(tracer, out);
+  } else {
+    write_chrome_trace(tracer, out);
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_metrics_file(const Registry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(registry, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace zhuge::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Exporters for the observability layer: Chrome trace_event JSON (opens in
+// chrome://tracing and https://ui.perfetto.dev), JSONL and CSV for ad-hoc
+// scripting, and a metrics-registry JSON summary.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace zhuge::obs {
+
+/// Chrome trace_event format: one instant event per record, components
+/// mapped to named threads so each gets its own row in the viewer.
+void write_chrome_trace(const Tracer& tracer, std::ostream& out);
+
+/// One JSON object per line: {"t_us":..,"component":..,"name":..,
+/// "fields":{..}}. Convenient for jq / pandas.
+void write_trace_jsonl(const Tracer& tracer, std::ostream& out);
+
+/// Long-format CSV: t_us,component,name,field,value — one row per field
+/// (events without fields emit a single row with an empty field column).
+void write_trace_csv(const Tracer& tracer, std::ostream& out);
+
+/// Registry summary: counters and gauges by name; histograms with count,
+/// sum, min/max, p50/p95/p99 and non-empty buckets.
+void write_metrics_json(const Registry& registry, std::ostream& out);
+
+/// File convenience wrappers; format picked from the extension
+/// (.jsonl -> JSONL, .csv -> CSV, anything else -> Chrome trace JSON).
+/// Return false when the file cannot be opened.
+bool write_trace_file(const Tracer& tracer, const std::string& path);
+bool write_metrics_file(const Registry& registry, const std::string& path);
+
+}  // namespace zhuge::obs

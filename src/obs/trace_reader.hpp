@@ -1,0 +1,31 @@
+#pragma once
+// Loader for exported traces: parses Chrome trace_event JSON and JSONL
+// back into events with owned strings. Used by tools/trace_summarize and
+// the exporter round-trip tests; no third-party JSON dependency.
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zhuge::obs {
+
+/// A trace event read back from disk. Unlike the recording-side
+/// TraceEvent, strings are owned (the file is the source of truth).
+struct LoadedEvent {
+  double t_us = 0.0;
+  std::string component;
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Parse a Chrome trace JSON document ({"traceEvents":[...]}) or JSONL
+/// stream (auto-detected). Metadata events are skipped. Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] std::vector<LoadedEvent> load_trace(std::istream& in);
+
+/// As load_trace, from a file path. Throws std::runtime_error when the
+/// file cannot be opened or parsed.
+[[nodiscard]] std::vector<LoadedEvent> load_trace_file(const std::string& path);
+
+}  // namespace zhuge::obs

@@ -42,16 +42,18 @@ inline TimePoint codel_control_law(TimePoint t, Duration interval, std::uint32_t
 /// Standalone CoDel qdisc over a single FIFO.
 class CoDel : public Qdisc {
  public:
-  explicit CoDel(CoDelConfig cfg = {}) : cfg_(cfg) {}
+  explicit CoDel(CoDelConfig cfg = {}) : Qdisc("queue.codel"), cfg_(cfg) {}
 
   bool enqueue(Packet p, TimePoint now) override {
     if (bytes_ + p.size_bytes > cfg_.limit_bytes) {
       ++drops_;
+      obs_dropped(p, now, "tail_drop");
       return false;
     }
     bytes_ += p.size_bytes;
     if (queue_.empty()) head_since_ = now;
     queue_.push_back(Entry{std::move(p), now});
+    obs_enqueued(queue_.back().packet, now);
     return true;
   }
 
@@ -70,8 +72,12 @@ class CoDel : public Qdisc {
 
       const Duration sojourn = now - e.enqueue_time;
       const bool ok_to_deliver = decide(now, sojourn);
-      if (ok_to_deliver) return std::move(e.packet);
+      if (ok_to_deliver) {
+        obs_dequeued(e.packet, now, sojourn);
+        return std::move(e.packet);
+      }
       ++drops_;  // head drop; loop to examine the next packet
+      obs_dropped(e.packet, now, "head_drop");
     }
   }
 

@@ -26,11 +26,12 @@ class FqCoDel : public Qdisc {
   };
 
   FqCoDel() : FqCoDel(Config{}) {}
-  explicit FqCoDel(Config cfg) : cfg_(cfg) {}
+  explicit FqCoDel(Config cfg) : Qdisc("queue.fq_codel"), cfg_(cfg) {}
 
   bool enqueue(Packet p, TimePoint now) override {
     if (total_bytes_ + p.size_bytes > cfg_.total_limit_bytes) {
       ++drops_;
+      obs_dropped(p, now, "tail_drop");
       return false;
     }
     SubQueue& q = flow_queue(p.flow);
@@ -38,6 +39,7 @@ class FqCoDel : public Qdisc {
     q.bytes += p.size_bytes;
     if (q.entries.empty()) q.head_since = now;
     q.entries.push_back({std::move(p), now});
+    obs_enqueued(q.entries.back().packet, now);
     if (!q.active) {
       q.active = true;
       q.deficit = cfg_.quantum;
@@ -70,9 +72,11 @@ class FqCoDel : public Qdisc {
       const Duration sojourn = now - e.enqueue_time;
       if (!codel_decide(*q, now, sojourn)) {
         ++drops_;
+        obs_dropped(e.packet, now, "head_drop");
         continue;  // head drop inside this flow; try again
       }
       q->deficit -= static_cast<std::int64_t>(e.packet.size_bytes);
+      obs_dequeued(e.packet, now, sojourn);
       return std::move(e.packet);
     }
   }

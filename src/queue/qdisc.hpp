@@ -12,8 +12,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/time.hpp"
 
 namespace zhuge::queue {
@@ -57,7 +60,47 @@ class Qdisc {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
 
  protected:
+  /// `component` labels this queue's observability output (trace component
+  /// and metric-name prefix), e.g. "queue.fifo".
+  explicit Qdisc(const char* component = "queue")
+      : obs_component_(component),
+        obs_enqueued_name_(std::string(component) + ".enqueued_packets"),
+        obs_dequeued_name_(std::string(component) + ".dequeued_packets"),
+        obs_dropped_name_(std::string(component) + ".dropped_packets"),
+        obs_sojourn_name_(std::string(component) + ".sojourn_us") {}
+
+  /// Hooks the concrete disciplines call from enqueue()/dequeue(). Each is
+  /// one cold-bool branch when observability is off.
+  void obs_enqueued(const Packet& p, TimePoint now) {
+    ZHUGE_METRIC_INC(obs_enqueued_name_);
+    ZHUGE_TRACE(now, obs_component_, "enqueue", {"bytes", double(p.size_bytes)},
+                {"depth_bytes", double(byte_count())},
+                {"depth_pkts", double(packet_count())});
+  }
+
+  /// `kind` distinguishes tail drops from AQM head drops in the trace.
+  void obs_dropped(const Packet& p, TimePoint now, const char* kind) {
+    ZHUGE_METRIC_INC(obs_dropped_name_);
+    ZHUGE_TRACE(now, obs_component_, kind, {"bytes", double(p.size_bytes)},
+                {"depth_bytes", double(byte_count())});
+  }
+
+  void obs_dequeued(const Packet& p, TimePoint now, Duration sojourn) {
+    ZHUGE_METRIC_INC(obs_dequeued_name_);
+    ZHUGE_METRIC_OBSERVE(obs_sojourn_name_, sojourn.to_micros());
+    ZHUGE_TRACE(now, obs_component_, "dequeue", {"bytes", double(p.size_bytes)},
+                {"sojourn_us", sojourn.to_micros()},
+                {"depth_bytes", double(byte_count())});
+  }
+
   std::uint64_t drops_ = 0;
+
+ private:
+  const char* obs_component_;
+  std::string obs_enqueued_name_;
+  std::string obs_dequeued_name_;
+  std::string obs_dropped_name_;
+  std::string obs_sojourn_name_;
 };
 
 }  // namespace zhuge::queue

@@ -7,6 +7,8 @@ namespace zhuge::sim {
 EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
   if (t < now_) t = now_;
   const EventId id = next_id_++;
+  states_.push_back(kPending);
+  ++pending_count_;
   queue_.push(Event{t, id, std::move(fn)});
   return id;
 }
@@ -18,17 +20,27 @@ EventId Simulator::schedule_after(Duration d, std::function<void()> fn) {
 
 bool Simulator::cancel(EventId id) {
   if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  std::uint8_t& state = states_[id - 1];
+  if (state != kPending) return false;  // already fired or cancelled
+  state = kCancelled;
+  ++cancelled_count_;
+  --pending_count_;
+  return true;
+}
+
+bool Simulator::discard_if_cancelled(const Event& top) {
+  if (states_[top.id - 1] != kCancelled) return false;
+  queue_.pop();
+  return true;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
+    if (discard_if_cancelled(queue_.top())) continue;
     Event ev = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    states_[ev.id - 1] = kFired;
+    --pending_count_;
     now_ = ev.t;
     ++executed_;
     ev.fn();
@@ -47,14 +59,7 @@ void Simulator::run_until(TimePoint end) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
     // Peek past cancelled events without firing anything late.
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        queue_.pop();
-        continue;
-      }
-      break;
+    while (!queue_.empty() && discard_if_cancelled(queue_.top())) {
     }
     if (queue_.empty() || queue_.top().t > end) break;
     step();

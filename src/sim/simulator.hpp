@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -38,8 +37,9 @@ class Simulator {
   /// Schedule `fn` to run `d` after now(). Negative delays are clamped to 0.
   EventId schedule_after(Duration d, std::function<void()> fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// harmless no-op. Returns true if the event was pending.
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
+  /// or unknown id is a harmless no-op. Returns true if the event was
+  /// pending (i.e. this call actually cancelled it).
   bool cancel(EventId id);
 
   /// Run until the event queue is empty or `stop()` is called.
@@ -56,10 +56,14 @@ class Simulator {
 
   /// Number of events executed so far (for tests and perf reporting).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  /// Number of events ever scheduled.
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_id_ - 1; }
+  /// Number of events successfully cancelled.
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_count_; }
 
-  /// Number of events currently pending (cancelled events may be counted
-  /// until they are lazily discarded).
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently pending. Exact: cancelled events are
+  /// excluded even while they still sit in the queue awaiting lazy discard.
+  [[nodiscard]] std::size_t pending() const { return pending_count_; }
 
  private:
   struct Event {
@@ -74,12 +78,22 @@ class Simulator {
     }
   };
 
+  /// Lifecycle of every issued event id, indexed by id-1. One byte per
+  /// event ever scheduled: O(1) cancel/fire transitions and an exact
+  /// answer to "is this id still pending", which a tombstone set cannot
+  /// give without also tracking fired ids.
+  enum EventState : std::uint8_t { kPending = 0, kFired = 1, kCancelled = 2 };
+
+  [[nodiscard]] bool discard_if_cancelled(const Event& top);
+
   TimePoint now_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::size_t pending_count_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<std::uint8_t> states_;
 };
 
 }  // namespace zhuge::sim

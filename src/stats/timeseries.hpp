@@ -69,6 +69,26 @@ class TimeSeries {
     return last;
   }
 
+  /// Time-weighted mean of the piecewise-constant signal over [from, to],
+  /// with the same sample-and-hold semantics as time_above(): each sample
+  /// holds until the next one (the last holds until `to`). Unlike mean(),
+  /// irregular sampling does not bias the result toward densely-sampled
+  /// stretches. Returns 0 when no sample covers the window.
+  [[nodiscard]] double time_weighted_mean(TimePoint from, TimePoint to) const {
+    double weighted = 0.0;
+    Duration covered = Duration::zero();
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const TimePoint start = std::max(points_[i].t, from);
+      const TimePoint end =
+          std::min(i + 1 < points_.size() ? points_[i + 1].t : to, to);
+      if (end <= start) continue;
+      const Duration span = end - start;
+      weighted += points_[i].value * span.to_seconds();
+      covered += span;
+    }
+    return covered > Duration::zero() ? weighted / covered.to_seconds() : 0.0;
+  }
+
   /// Mean of samples within [from, to].
   [[nodiscard]] double mean(TimePoint from, TimePoint to) const {
     double sum = 0.0;

@@ -8,6 +8,8 @@
 #include <functional>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "queue/qdisc.hpp"
 #include "sim/simulator.hpp"
 #include "wireless/channel.hpp"
@@ -61,6 +63,11 @@ class CellularLink {
     const TimePoint now = sim_.now();
     const double rate = std::max(0.0, channel_.rate_bps(now));
     carry_bytes_ += rate * cfg_.tti.to_seconds() / 8.0;
+    ZHUGE_METRIC_INC("wireless.cellular.ttis");
+    ZHUGE_METRIC_SET("wireless.cellular.rate_bps", rate);
+    ZHUGE_TRACE(now, "wireless.cellular", "tti", {"rate_mbps", rate / 1e6},
+                {"carry_bytes", carry_bytes_},
+                {"queued_pkts", double(qdisc_.packet_count())});
 
     while (true) {
       const Packet* head = qdisc_.peek();
@@ -73,10 +80,14 @@ class CellularLink {
       if (!p.has_value()) continue;  // AQM head drop
       carry_bytes_ -= static_cast<double>(p->size_bytes);
       if (on_dequeue_) on_dequeue_(*p, now);
-      if (rng_.chance(cfg_.loss_prob)) continue;
+      if (rng_.chance(cfg_.loss_prob)) {
+        ZHUGE_METRIC_INC("wireless.cellular.air_losses");
+        continue;
+      }
       sim_.schedule_after(cfg_.air_latency, [this, pkt = std::move(*p)]() mutable {
         pkt.delivered_time = sim_.now();
         ++delivered_;
+        ZHUGE_METRIC_INC("wireless.cellular.delivered_packets");
         if (on_delivered_) on_delivered_(pkt, sim_.now());
         if (deliver_) deliver_(std::move(pkt));
       });

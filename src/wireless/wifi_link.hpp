@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "queue/qdisc.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -125,28 +127,46 @@ class WifiLink {
       // Everything was AQM-dropped between kick and grant: occupy nothing.
       return Duration::zero();
     }
-    return cfg_.per_frame_overhead +
-           Duration::from_seconds(static_cast<double>(bytes) * 8.0 / rate);
+    const Duration airtime =
+        cfg_.per_frame_overhead +
+        Duration::from_seconds(static_cast<double>(bytes) * 8.0 / rate);
+    ZHUGE_METRIC_INC("wireless.wifi.frames");
+    ZHUGE_METRIC_SET("wireless.wifi.rate_bps", rate);
+    ZHUGE_METRIC_OBSERVE("wireless.wifi.ampdu_packets",
+                         static_cast<double>(frame_.size()));
+    ZHUGE_TRACE(now, "wireless.wifi", "tx_start",
+                {"mpdus", double(frame_.size())}, {"bytes", double(bytes)},
+                {"rate_mbps", rate / 1e6}, {"airtime_us", airtime.to_micros()});
+    return airtime;
   }
 
   /// Airtime elapsed: resolve per-MPDU success, deliver or re-queue.
   void complete_frame() {
     const TimePoint now = sim_.now();
+    std::size_t ok = 0, retried = 0, dropped = 0;
     for (auto& mpdu : frame_) {
       if (rng_.chance(cfg_.mpdu_loss_prob)) {
         if (mpdu.retries + 1 > cfg_.max_retries) {
           ++retry_drops_;
+          ++dropped;
+          ZHUGE_METRIC_INC("wireless.wifi.retry_drops");
           continue;
         }
         ++mpdu.retries;
+        ++retried;
+        ZHUGE_METRIC_INC("wireless.wifi.retries");
         retry_.push_back(std::move(mpdu));
         continue;
       }
       mpdu.packet.delivered_time = now;
       ++delivered_;
+      ++ok;
+      ZHUGE_METRIC_INC("wireless.wifi.delivered_packets");
       if (on_delivered_) on_delivered_(mpdu.packet, now);
       if (deliver_) deliver_(std::move(mpdu.packet));
     }
+    ZHUGE_TRACE(now, "wireless.wifi", "tx_end", {"delivered", double(ok)},
+                {"retried", double(retried)}, {"retry_dropped", double(dropped)});
     frame_.clear();
     requesting_ = false;
     kick();

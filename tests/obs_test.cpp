@@ -1,0 +1,265 @@
+// Unit tests for the observability layer: metrics registry, log-bucket
+// histograms, tracer enable/disable semantics, ring-buffer behaviour, and
+// exporter round-trips (Chrome trace JSON and JSONL back through the
+// trace reader).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_reader.hpp"
+#include "obs/tracer.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::obs {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Guard restoring global obs state so tests cannot leak into each other.
+class ObsStateGuard {
+ public:
+  ObsStateGuard() { reset_all(); }
+  ~ObsStateGuard() { reset_all(); }
+
+ private:
+  static void reset_all() {
+    set_metrics_enabled(false);
+    set_tracing_enabled(false);
+    reset();
+  }
+};
+
+TEST(Registry, CountersGaugesHistogramsByName) {
+  Registry reg;
+  reg.counter("a.events").inc();
+  reg.counter("a.events").inc(4);
+  EXPECT_EQ(reg.counter("a.events").value(), 5u);
+
+  reg.gauge("a.depth").set(7.5);
+  reg.gauge("a.depth").add(0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.depth").value(), 8.0);
+
+  reg.histogram("a.delay_us").observe(10.0);
+  reg.histogram("a.delay_us").observe(20.0);
+  EXPECT_EQ(reg.histogram("a.delay_us").count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.histogram("a.delay_us").sum(), 30.0);
+
+  // Distinct names are distinct metrics; repeated lookups hit the same one.
+  EXPECT_EQ(reg.counter("b.events").value(), 0u);
+  EXPECT_EQ(reg.counters().size(), 2u);
+  reg.clear();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST(Histogram, BucketIndexCoversRangeWithUnderAndOverflow) {
+  const HistogramSpec spec{.lo = 1.0, .hi = 1000.0, .buckets_per_decade = 1};
+  Histogram h(spec);
+  // 3 decades, 1 bucket each, plus underflow [0] and overflow [4].
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_EQ(h.bucket_index(0.5), 0u);            // underflow
+  EXPECT_EQ(h.bucket_index(-3.0), 0u);           // negative -> underflow
+  EXPECT_EQ(h.bucket_index(std::nan("")), 0u);   // NaN -> underflow
+  EXPECT_EQ(h.bucket_index(1.0), 1u);
+  EXPECT_EQ(h.bucket_index(9.9), 1u);
+  EXPECT_EQ(h.bucket_index(10.0), 2u);
+  EXPECT_EQ(h.bucket_index(999.0), 3u);
+  EXPECT_EQ(h.bucket_index(1000.0), 4u);         // overflow
+  EXPECT_EQ(h.bucket_index(1e12), 4u);
+
+  // Bucket edges are the decade boundaries.
+  EXPECT_DOUBLE_EQ(h.bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(4), 1000.0);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(4)));
+}
+
+TEST(Histogram, CountSumMinMaxExact) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  for (double v : {5.0, 1.0, 9.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(Histogram, QuantilesClampToObservedRangeAndOrder) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(h.quantile(0.0), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.quantile(1.0));
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+  // Log-bucket interpolation: p50 within a bucket width of the truth.
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.6);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.6);
+}
+
+TEST(Tracer, DisabledMacroRecordsNothing) {
+  ObsStateGuard guard;
+  EXPECT_FALSE(tracing_enabled());
+  ZHUGE_TRACE(TimePoint::zero(), "test", "ev", {"x", 1.0});
+  EXPECT_EQ(tracer().size(), 0u);
+  EXPECT_EQ(tracer().recorded(), 0u);
+
+  set_tracing_enabled(true);
+  ZHUGE_TRACE(TimePoint::zero() + Duration::millis(2), "test", "ev", {"x", 1.0});
+  EXPECT_EQ(tracer().size(), 1u);
+  const TraceEvent& e = tracer().at(0);
+  EXPECT_EQ(e.t_ns, 2'000'000);
+  EXPECT_STREQ(e.component, "test");
+  EXPECT_STREQ(e.name, "ev");
+  ASSERT_EQ(e.n_fields, 1);
+  EXPECT_STREQ(e.fields[0].key, "x");
+  EXPECT_DOUBLE_EQ(e.fields[0].value, 1.0);
+
+  set_tracing_enabled(false);
+  ZHUGE_TRACE(TimePoint::zero(), "test", "ev2");
+  EXPECT_EQ(tracer().size(), 1u);
+}
+
+TEST(Tracer, MetricsMacrosHonourRuntimeSwitch) {
+  ObsStateGuard guard;
+  ZHUGE_METRIC_INC("test.count");
+  ZHUGE_METRIC_OBSERVE("test.hist", 5.0);
+  EXPECT_TRUE(metrics().counters().empty());
+  EXPECT_TRUE(metrics().histograms().empty());
+
+  set_metrics_enabled(true);
+  ZHUGE_METRIC_INC("test.count");
+  ZHUGE_METRIC_ADD("test.count", 2);
+  ZHUGE_METRIC_SET("test.gauge", 3.5);
+  ZHUGE_METRIC_OBSERVE("test.hist", 5.0);
+  EXPECT_EQ(metrics().counter("test.count").value(), 3u);
+  EXPECT_DOUBLE_EQ(metrics().gauge("test.gauge").value(), 3.5);
+  EXPECT_EQ(metrics().histogram("test.hist").count(), 1u);
+}
+
+TEST(Tracer, RingOverwritesOldestBeyondCapacity) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.record(TimePoint::zero() + Duration::millis(i), "c", "e",
+             {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.overwritten(), 6u);
+  // Chronological order, most recent window retained.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(t.at(i).fields[0].value, static_cast<double>(6 + i));
+  }
+}
+
+TEST(Tracer, FieldsBeyondMaxAreDropped) {
+  Tracer t;
+  t.record(TimePoint::zero(), "c", "e",
+           {{"f0", 0}, {"f1", 1}, {"f2", 2}, {"f3", 3}, {"f4", 4},
+            {"f5", 5}, {"f6", 6}, {"f7", 7}, {"f8", 8}, {"f9", 9}});
+  EXPECT_EQ(t.at(0).n_fields, TraceEvent::kMaxFields);
+}
+
+TEST(Export, ChromeTraceRoundTrip) {
+  Tracer t;
+  t.record(TimePoint::zero() + Duration::millis(1), "fortune", "predict",
+           {{"qLong_ms", 12.5}, {"qShort_ms", 0.25}, {"tx_ms", 2.0}});
+  t.record(TimePoint::zero() + Duration::millis(3), "queue.fifo", "dequeue",
+           {{"sojourn_us", 1500.0}});
+  t.record(TimePoint::zero() + Duration::millis(4), "app", "note", {});
+
+  std::stringstream ss;
+  write_chrome_trace(t, ss);
+  const auto events = load_trace(ss);
+  ASSERT_EQ(events.size(), 3u);
+
+  EXPECT_DOUBLE_EQ(events[0].t_us, 1000.0);
+  EXPECT_EQ(events[0].component, "fortune");
+  EXPECT_EQ(events[0].name, "predict");
+  ASSERT_EQ(events[0].fields.size(), 3u);
+  EXPECT_EQ(events[0].fields[0].first, "qLong_ms");
+  EXPECT_DOUBLE_EQ(events[0].fields[0].second, 12.5);
+  EXPECT_EQ(events[0].fields[1].first, "qShort_ms");
+  EXPECT_DOUBLE_EQ(events[0].fields[1].second, 0.25);
+
+  EXPECT_EQ(events[1].component, "queue.fifo");
+  EXPECT_DOUBLE_EQ(events[1].fields[0].second, 1500.0);
+  EXPECT_EQ(events[2].name, "note");
+  EXPECT_TRUE(events[2].fields.empty());
+}
+
+TEST(Export, JsonlRoundTrip) {
+  Tracer t;
+  t.record(TimePoint::zero() + Duration::micros(7), "wireless.wifi", "tx_start",
+           {{"mpdus", 4.0}, {"rate_mbps", 86.7}});
+
+  std::stringstream ss;
+  write_trace_jsonl(t, ss);
+  const auto events = load_trace(ss);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].t_us, 7.0);
+  EXPECT_EQ(events[0].component, "wireless.wifi");
+  EXPECT_EQ(events[0].name, "tx_start");
+  ASSERT_EQ(events[0].fields.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].fields[1].second, 86.7);
+}
+
+TEST(Export, CsvHasOneRowPerField) {
+  Tracer t;
+  t.record(TimePoint::zero(), "c", "e", {{"a", 1.0}, {"b", 2.0}});
+  t.record(TimePoint::zero(), "c", "bare", {});
+  std::stringstream ss;
+  write_trace_csv(t, ss);
+  std::string line;
+  int rows = 0;
+  while (std::getline(ss, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // header + 2 field rows + 1 bare row
+}
+
+TEST(Export, MetricsJsonContainsAllSections) {
+  Registry reg;
+  reg.counter("c.events").inc(3);
+  reg.gauge("g.depth").set(1.5);
+  reg.histogram("h.delay").observe(10.0);
+  std::stringstream ss;
+  write_metrics_json(reg, ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("\"c.events\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"g.depth\": 1.5"), std::string::npos);
+  EXPECT_NE(out.find("\"h.delay\""), std::string::npos);
+  EXPECT_NE(out.find("\"p99\""), std::string::npos);
+}
+
+TEST(Export, EscapesAndNonFiniteValues) {
+  Tracer t;
+  t.record(TimePoint::zero(), "c\"x", "e\\y",
+           {{"nan", std::nan("")}, {"inf", HUGE_VAL}});
+  std::stringstream ss;
+  write_chrome_trace(t, ss);
+  const auto events = load_trace(ss);  // must still parse
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].component, "c\"x");
+  EXPECT_EQ(events[0].name, "e\\y");
+}
+
+TEST(Reader, RejectsMalformedInput) {
+  std::stringstream ss("{\"traceEvents\": [ {\"ph\": ");
+  EXPECT_THROW((void)load_trace(ss), std::runtime_error);
+  EXPECT_THROW((void)load_trace_file("/nonexistent/trace.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace zhuge::obs

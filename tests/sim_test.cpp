@@ -106,6 +106,67 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(Simulator, CancelAfterFireIsRejected) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_after(1_ms, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // The id has already fired; cancel must refuse it and must not corrupt
+  // the pending count (the seed implementation tombstoned fired ids,
+  // leaving pending() permanently wrong).
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_after(1_ms, [&] { ++fired; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(1_ms, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, PendingExcludesLazilyDiscardedEvents) {
+  Simulator sim;
+  // Cancelled events stay in the priority queue until the run loop would
+  // pop them; pending() must not count them in the meantime.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(sim.schedule_after(Duration::millis(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 5u);
+  EXPECT_TRUE(sim.cancel(ids[1]));
+  EXPECT_TRUE(sim.cancel(ids[3]));
+  EXPECT_EQ(sim.pending(), 3u);  // before any discard happens
+  sim.run_until(TimePoint::zero() + 2500_us);  // fires ids[0]; discards ids[1]
+  EXPECT_EQ(sim.pending(), 2u);                // ids[2], ids[4] remain
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+  EXPECT_EQ(sim.events_scheduled(), 5u);
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+}
+
+TEST(Simulator, PendingTracksNestedScheduling) {
+  Simulator sim;
+  sim.schedule_after(1_ms, [&] {
+    EXPECT_EQ(sim.pending(), 0u);  // this event already left pending state
+    sim.schedule_after(1_ms, [] {});
+    EXPECT_EQ(sim.pending(), 1u);
+  });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator sim;
   int fired = 0;

@@ -205,5 +205,35 @@ TEST(TimeSeries, MeanOverRange) {
   EXPECT_DOUBLE_EQ(ts.mean(at(5), at(15)), 20.0);
 }
 
+TEST(TimeSeries, TimeWeightedMeanMatchesTimeAboveSemantics) {
+  TimeSeries ts;
+  // Sample-and-hold: 10 for [0,10), 30 for [10,20), last sample holds to `to`.
+  ts.record(at(0), 10.0);
+  ts.record(at(10), 30.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(at(0), at(20)), 20.0);
+  // Holding tail: 10 ms at 10 + 30 ms at 30 over [0,40).
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(at(0), at(40)), 25.0);
+  // Sub-interval clips both segments.
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(at(5), at(15)), 20.0);
+}
+
+TEST(TimeSeries, TimeWeightedMeanIgnoresSamplingDensity) {
+  TimeSeries ts;
+  // Ten rapid-fire samples of 100 in the first ms, then one sample of 0
+  // holding for 9 ms: the arithmetic mean is ~91, the time-weighted 10.
+  for (int i = 0; i < 10; ++i) ts.record(at(0) + Duration::micros(i * 100), 100.0);
+  ts.record(at(1), 0.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(at(0), at(10)), 10.0);
+  EXPECT_NEAR(ts.mean(at(0), at(10)), 90.9, 0.1);
+}
+
+TEST(TimeSeries, TimeWeightedMeanEmptyWindow) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(at(0), at(10)), 0.0);  // no samples
+  ts.record(at(20), 5.0);
+  // Window entirely before the first sample: nothing covered.
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(at(0), at(10)), 0.0);
+}
+
 }  // namespace
 }  // namespace zhuge::stats

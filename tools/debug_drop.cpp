@@ -1,7 +1,15 @@
-// Step-drop microbenchmark probe (Fig. 14/15 shape).
+// Step-drop microbenchmark probe (Fig. 14/15 shape), reporting through the
+// obs metrics registry: the run executes with metrics enabled and the
+// summary row reads the recorded histograms/counters back instead of
+// duplicating the bookkeeping here.
+//
+//   debug_drop [none|zhuge|fastack|abc] [tcp] [k] [metrics_out.json]
 #include <cstdio>
 #include <string>
+
 #include "app/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "trace/synthetic.hpp"
 using namespace zhuge;
 
@@ -9,6 +17,8 @@ int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "none";   // none|zhuge|fastack|abc
   const bool tcp = argc > 2 && std::string(argv[2]) == "tcp";
   const double k = argc > 3 ? atof(argv[3]) : 10.0;
+  obs::set_metrics_enabled(true);
+
   // 30 Mbps for 20 s (converge), drop to 30/k for 20 s.
   const auto drop_at = sim::Duration::seconds(20);
   const auto tr = trace::step_trace(30e6, 30e6 / k, drop_at, sim::Duration::seconds(40));
@@ -22,12 +32,29 @@ int main(int argc, char** argv) {
   cfg.duration = sim::Duration::seconds(40);
   cfg.seed = 3;
   auto r = app::run_scenario(cfg);
+
   const auto t0 = sim::TimePoint::zero() + drop_at;
   const auto t1 = sim::TimePoint::zero() + sim::Duration::seconds(40);
   const double rtt_dur = r.rtt_series_ms.time_above(200.0, t0, t1).to_seconds();
   const double fd_dur = r.frame_delay_series_ms.time_above(400.0, t0, t1).to_seconds();
+
+  // Everything below comes out of the obs registry / series helpers.
+  auto& reg = obs::metrics();
+  const auto& rtt_hist = reg.histogram("app.rtt_ms");
   std::printf("%-8s %s k=%4.0f  rtt>200ms %6.2f s   fd>400ms %6.2f s  p99 %5.0f  goodput %.2f\n",
               mode.c_str(), tcp ? "tcp" : "rtp", k, rtt_dur, fd_dur,
-              r.primary().network_rtt_ms.quantile(0.99), r.primary().goodput_bps / 1e6);
+              rtt_hist.quantile(0.99),
+              reg.gauge("app.flow0.goodput_bps").value() / 1e6);
+  std::printf("  post-drop avg: rtt %.0f ms (time-weighted), rate %.2f Mbps; "
+              "queue drops %llu, pred |err| p95 %.1f ms\n",
+              r.rtt_series_ms.time_weighted_mean(t0, t1),
+              r.rate_series_bps.time_weighted_mean(t0, t1) / 1e6,
+              (unsigned long long)reg.gauge("ap.qdisc_drops").value(),
+              reg.histogram("fortune.abs_error_ms").quantile(0.95));
+
+  if (argc > 4 && !obs::write_metrics_file(reg, argv[4])) {
+    std::fprintf(stderr, "failed to write %s\n", argv[4]);
+    return 1;
+  }
   return 0;
 }

@@ -1,28 +1,71 @@
+// RTT-spike probe: find the worst RTT event in a run and show the trace
+// context around it. Built on the obs tracer: the scenario is run with
+// tracing enabled and the spike is located from the recorded "app"/"rtt"
+// events instead of hand-rolled series walking.
+//
+//   debug_spike [trace_out.json]
+//
+// With an argument, the full trace is also written for chrome://tracing.
+#include <cstdint>
 #include <cstdio>
+#include <string_view>
+
 #include "app/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/tracer.hpp"
 #include "trace/synthetic.hpp"
 using namespace zhuge;
-int main() {
-  const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 26, sim::Duration::seconds(150));
+
+int main(int argc, char** argv) {
+  obs::set_tracing_enabled(true);
+
+  const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 26,
+                                    sim::Duration::seconds(150));
   app::ScenarioConfig cfg;
   cfg.protocol = app::Protocol::kTcp;
   cfg.ap.mode = app::ApMode::kNone;
   cfg.channel_trace = &tr;
   cfg.duration = sim::Duration::seconds(150);
   cfg.seed = 2;
-  auto r = app::run_scenario(cfg);
-  // find worst rtt sample
-  const auto& ts = r.rtt_series_ms.points();
-  size_t worst = 0;
-  for (size_t i = 0; i < ts.size(); ++i) if (ts[i].value > ts[worst].value) worst = i;
-  const double t0 = ts[worst].t.to_seconds();
-  std::printf("worst rtt %.0f ms at t=%.2f s\n", ts[worst].value, t0);
-  for (const auto& p : ts) {
-    const double t = p.t.to_seconds();
-    if (t > t0 - 1.5 && t < t0 + 1.5) std::printf("A %.3f %.0f\n", t, p.value);
+  app::run_scenario(cfg);
+
+  // Locate the worst "app"/"rtt" event.
+  double worst_ms = 0.0;
+  double worst_t_s = 0.0;
+  obs::tracer().for_each([&](const obs::TraceEvent& e) {
+    if (std::string_view(e.name) != "rtt") return;
+    for (std::uint8_t i = 0; i < e.n_fields; ++i) {
+      if (std::string_view(e.fields[i].key) == "rtt_ms" &&
+          e.fields[i].value > worst_ms) {
+        worst_ms = e.fields[i].value;
+        worst_t_s = static_cast<double>(e.t_ns) / 1e9;
+      }
+    }
+  });
+  std::printf("worst rtt %.0f ms at t=%.2f s\n", worst_ms, worst_t_s);
+
+  // Trace context around the spike: every recorded event within +-1.5 s.
+  obs::tracer().for_each([&](const obs::TraceEvent& e) {
+    const double t = static_cast<double>(e.t_ns) / 1e9;
+    if (t <= worst_t_s - 1.5 || t >= worst_t_s + 1.5) return;
+    if (std::string_view(e.name) == "rtt") {
+      std::printf("A %.3f %.0f\n", t, e.fields[0].value);
+    }
+  });
+  // Channel rate around that time (from the input trace, not the tracer).
+  for (double t = worst_t_s - 1.5; t < worst_t_s + 1.5; t += 0.2) {
+    std::printf("C %.2f %.2f Mbps\n", t,
+                tr.rate_at(sim::TimePoint{(int64_t)(t * 1e9)}) / 1e6);
   }
-  // channel rate around that time
-  for (double t = t0 - 1.5; t < t0 + 1.5; t += 0.2)
-    std::printf("C %.2f %.2f Mbps\n", t, tr.rate_at(sim::TimePoint{(int64_t)(t*1e9)})/1e6);
+
+  if (argc > 1) {
+    if (obs::write_trace_file(obs::tracer(), argv[1])) {
+      std::printf("trace written: %s (%zu events)\n", argv[1],
+                  obs::tracer().size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", argv[1]);
+      return 1;
+    }
+  }
   return 0;
 }
