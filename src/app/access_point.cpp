@@ -78,6 +78,78 @@ core::ZhugeFlow* AccessPoint::zhuge_flow(const net::FlowId& flow) {
   return it == zhuge_flows_.end() ? nullptr : it->second.get();
 }
 
+namespace {
+void retire_flow(AccessPoint::RobustnessStats& into, core::ZhugeFlow& zf) {
+  into.degrades += zf.degrade_count();
+  into.reactivates += zf.reactivate_count();
+  into.flushed_acks += zf.flushed_on_teardown();
+}
+}  // namespace
+
+std::size_t AccessPoint::unregister_rtc_flow(const net::FlowId& flow) {
+  rtc_flows_.erase(flow);
+  fastack_flows_.erase(flow);
+  std::size_t flushed = 0;
+  if (const auto it = zhuge_flows_.find(flow); it != zhuge_flows_.end()) {
+    flushed = it->second->teardown();
+    retire_flow(retired_stats_, *it->second);
+    zhuge_flows_.erase(it);
+    ZHUGE_METRIC_INC("ap.flow_unregistered");
+    ZHUGE_TRACE(sim_.now(), "ap", "unregister_flow",
+                {"flushed", double(flushed)});
+  }
+  return flushed;
+}
+
+void AccessPoint::restart_optimizer() {
+  ++retired_stats_.optimizer_restarts;
+  std::size_t flushed = 0;
+  for (auto& [flow, zf] : zhuge_flows_) {
+    flushed += zf->teardown();
+    retire_flow(retired_stats_, *zf);
+  }
+  zhuge_flows_.clear();
+  fastack_flows_.clear();
+  for (const auto& flow : rtc_flows_) {
+    if (cfg_.mode == ApMode::kZhuge) {
+      zhuge_flows_.emplace(
+          flow, std::make_unique<core::ZhugeFlow>(
+                    sim_, rng_, flow, cfg_.zhuge,
+                    [this](Packet p) { to_server_(std::move(p)); }));
+    } else if (cfg_.mode == ApMode::kFastAck) {
+      fastack_flows_.emplace(flow,
+                             std::make_unique<baseline::FastAck>(cfg_.fastack));
+    }
+  }
+  ZHUGE_METRIC_INC("ap.optimizer_restarts");
+  ZHUGE_TRACE(sim_.now(), "ap", "optimizer_restart",
+              {"flows", double(rtc_flows_.size())},
+              {"flushed", double(flushed)});
+}
+
+void AccessPoint::inject_clock_jump(Duration delta) {
+  ++retired_stats_.clock_jumps;
+  for (auto& [flow, zf] : zhuge_flows_) zf->on_clock_jump(delta);
+  ZHUGE_METRIC_INC("ap.clock_jumps");
+  ZHUGE_TRACE(sim_.now(), "ap", "clock_jump", {"delta_ms", delta.to_millis()});
+}
+
+std::size_t AccessPoint::flush_feedback() {
+  std::size_t flushed = 0;
+  for (auto& [flow, zf] : zhuge_flows_) flushed += zf->teardown();
+  return flushed;
+}
+
+AccessPoint::RobustnessStats AccessPoint::robustness() const {
+  RobustnessStats s = retired_stats_;
+  for (const auto& [flow, zf] : zhuge_flows_) {
+    s.degrades += zf->degrade_count();
+    s.reactivates += zf->reactivate_count();
+    s.flushed_acks += zf->flushed_on_teardown();
+  }
+  return s;
+}
+
 Duration AccessPoint::instantaneous_queue_delay(TimePoint now) const {
   const double rate = const_cast<stats::WindowedRate&>(abc_dequeue_rate_)
                           .rate_bps(now)
@@ -100,6 +172,9 @@ void AccessPoint::from_wan(Packet p) {
   if (zf != nullptr) {
     predicted = zf->predict_downlink(p, *qdisc_);
     if (is_rtp) rtp_copy = p.rtp();
+    // Event-driven fail-open check: a downlink packet arriving while the
+    // uplink has been silent is exactly the evidence the watchdog needs.
+    zf->check_watchdog(now);
   }
   const bool accepted = wifi_link_ != nullptr
                             ? wifi_link_->offer(std::move(p))
@@ -152,7 +227,9 @@ void AccessPoint::from_client(Packet p) {
   // Zhuge: the uplink handling for the reverse flow (drop a client TWCC,
   // hold an out-of-band ACK on the retreatable release queue, or pass).
   if (auto* zf = zhuge_flow(p.flow.reversed()); zf != nullptr) {
-    switch (zf->handle_uplink(std::move(p))) {
+    const auto action = zf->handle_uplink(std::move(p));
+    zf->check_watchdog(sim_.now());
+    switch (action) {
       case core::UplinkAction::kDrop:
         ++uplink_dropped_;
         ZHUGE_METRIC_INC("ap.uplink_dropped");

@@ -71,6 +71,44 @@ class AccessPoint {
   /// the paper's configurable IP list (§7.1).
   void register_rtc_flow(const net::FlowId& flow);
 
+  /// Stop optimising a flow: flush its held feedback (nothing stranded),
+  /// then destroy its per-flow state. Returns the number of packets
+  /// flushed. Safe to call for unknown flows (returns 0).
+  std::size_t unregister_rtc_flow(const net::FlowId& flow);
+
+  /// Simulate an in-place optimiser restart (crash/upgrade): every
+  /// per-flow optimiser state is flushed and wiped, then rebuilt fresh
+  /// for the still-registered RTC flows. The data path (qdisc, wireless
+  /// link) keeps running throughout.
+  void restart_optimizer();
+
+  /// The AP's clock jumps by `delta` relative to the rest of the network
+  /// (NTP step, firmware reboot). Per-flow state rebases itself.
+  void inject_clock_jump(Duration delta);
+
+  /// Flush all held feedback of every optimised flow (end-of-run drain;
+  /// the chaos harness asserts zero stranded ACKs afterwards). Returns
+  /// packets flushed.
+  std::size_t flush_feedback();
+
+  /// Aggregated fail-open statistics across current and past flow
+  /// incarnations (restart_optimizer() folds dying flows in).
+  struct RobustnessStats {
+    std::uint64_t degrades = 0;
+    std::uint64_t reactivates = 0;
+    std::uint64_t flushed_acks = 0;
+    std::uint64_t optimizer_restarts = 0;
+    std::uint64_t clock_jumps = 0;
+  };
+  [[nodiscard]] RobustnessStats robustness() const;
+
+  /// Feedback packets/fortunes currently held by any optimised flow.
+  [[nodiscard]] std::size_t pending_feedback() const {
+    std::size_t n = 0;
+    for (const auto& [flow, zf] : zhuge_flows_) n += zf->pending_feedback();
+    return n;
+  }
+
   [[nodiscard]] queue::Qdisc& downlink_qdisc() { return *qdisc_; }
   [[nodiscard]] core::ZhugeFlow* zhuge_flow(const net::FlowId& flow);
   [[nodiscard]] std::uint64_t uplink_delayed() const { return uplink_delayed_; }
@@ -103,6 +141,10 @@ class AccessPoint {
 
   std::uint64_t uplink_delayed_ = 0;
   std::uint64_t uplink_dropped_ = 0;
+
+  // Fail-open accounting retired from flows destroyed by
+  // unregister/restart, so robustness() stays cumulative.
+  RobustnessStats retired_stats_;
 };
 
 }  // namespace zhuge::app

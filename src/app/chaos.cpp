@@ -1,0 +1,173 @@
+#include "app/chaos.hpp"
+
+#include <utility>
+
+namespace zhuge::app {
+
+namespace {
+
+using fault::Window;
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at(double seconds) {
+  return TimePoint::zero() + Duration::from_seconds(seconds);
+}
+
+/// Common healthy baseline every case perturbs: RTP/GCC through a Zhuge
+/// AP over a steady MCS-7 Wi-Fi channel, 25 s run with a 5 s warmup.
+/// MCS mode (no external trace) keeps the suite self-contained.
+ScenarioConfig chaos_base(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kRtp;
+  cfg.ap.mode = ApMode::kZhuge;
+  cfg.ap.qdisc = QdiscKind::kFifo;
+  cfg.mcs_index = 7;
+  cfg.duration = Duration::seconds(25);
+  cfg.warmup = Duration::seconds(5);
+  cfg.seed = seed;
+  return cfg;
+}
+
+ChaosCase make_case(std::string name, std::uint64_t seed, double start_s,
+                    double end_s) {
+  ChaosCase c;
+  c.name = std::move(name);
+  c.config = chaos_base(seed);
+  c.fault_start = at(start_s);
+  c.fault_end = at(end_s);
+  return c;
+}
+
+}  // namespace
+
+std::vector<ChaosCase> standard_chaos_suite(std::uint64_t seed) {
+  std::vector<ChaosCase> suite;
+
+  {  // Downlink wireless blackout: the client vanishes for 1.5 s.
+    ChaosCase c = make_case("downlink_blackout", seed, 10.0, 11.5);
+    c.config.faults.downlink_wireless.blackouts = {
+        Window{c.fault_start, c.fault_end}};
+    // 1.5 s of total loss drops every in-flight packet; give GCC's ramp
+    // room before judging recovery (same reasoning as uplink_starvation).
+    c.config.duration = Duration::seconds(30);
+    c.post_settle = Duration::seconds(6);
+    suite.push_back(std::move(c));
+  }
+
+  {  // Uplink feedback starvation: every client->AP packet dies for 2 s
+     // while downlink data keeps flowing. The watchdog MUST fail open.
+    ChaosCase c = make_case("uplink_starvation", seed, 10.0, 12.0);
+    c.config.faults.uplink_wireless.blackouts = {
+        Window{c.fault_start, c.fault_end}};
+    c.expect_degrade = true;
+    // Two seconds with zero feedback drives GCC to its rate floor; the
+    // ramp back is deliberately slow, so judge recovery once it is done.
+    c.config.duration = Duration::seconds(35);
+    c.post_settle = Duration::seconds(8);
+    suite.push_back(std::move(c));
+  }
+
+  {  // Gilbert-Elliott burst loss on the WAN downlink for 3 s.
+    ChaosCase c = make_case("wan_burst_loss", seed, 10.0, 13.0);
+    c.config.faults.downlink_wan.burst =
+        fault::GilbertElliott{/*p_enter_bad=*/0.02, /*p_exit_bad=*/0.25,
+                              /*loss_good=*/0.0, /*loss_bad=*/0.5};
+    c.config.faults.downlink_wan.active = {Window{c.fault_start, c.fault_end}};
+    suite.push_back(std::move(c));
+  }
+
+  {  // Duplication + reordering on the WAN downlink for 3 s: the in-band
+     // updater must still emit strictly monotone AP-built TWCC.
+    ChaosCase c = make_case("dup_reorder", seed, 10.0, 13.0);
+    c.config.faults.downlink_wan.dup_prob = 0.10;
+    c.config.faults.downlink_wan.reorder_prob = 0.10;
+    c.config.faults.downlink_wan.reorder_delay = Duration::millis(5);
+    c.config.faults.downlink_wan.active = {Window{c.fault_start, c.fault_end}};
+    suite.push_back(std::move(c));
+  }
+
+  {  // Uplink fade: feedback crosses the wired uplink 60 ms late for 3 s.
+    ChaosCase c = make_case("uplink_fade", seed, 10.0, 13.0);
+    c.config.faults.uplink_wan.fade_delay = Duration::millis(60);
+    c.config.faults.uplink_wan.fades = {Window{c.fault_start, c.fault_end}};
+    suite.push_back(std::move(c));
+  }
+
+  {  // Mid-flow AP optimiser restart: all ZhugeFlow state wiped at 11 s.
+    ChaosCase c = make_case("ap_restart", seed, 11.0, 11.0);
+    c.config.faults.ap_restarts = {c.fault_start};
+    suite.push_back(std::move(c));
+  }
+
+  {  // AP clock steps 300 ms forward at 10.5 s and back at 12 s.
+    ChaosCase c = make_case("clock_jump", seed, 10.5, 12.0);
+    c.config.faults.clock_jumps = {
+        fault::ClockJump{c.fault_start, Duration::millis(300)},
+        fault::ClockJump{c.fault_end, Duration::millis(-300)}};
+    suite.push_back(std::move(c));
+  }
+
+  return suite;
+}
+
+ChaosVerdict run_chaos_case(const ChaosCase& c) {
+  ChaosVerdict v;
+  v.name = c.name;
+
+  const ScenarioResult r = run_scenario(c.config);
+
+  // Goodput recovery: compare the steady window just before the fault
+  // against the window after the fault cleared and the CCA had 2 s to
+  // settle. Both windows avoid warmup and the fault itself.
+  const TimePoint pre_from =
+      std::max(TimePoint::zero() + c.config.warmup, c.fault_start - Duration::seconds(3));
+  const TimePoint post_from = c.fault_end + c.post_settle;
+  const TimePoint run_end = TimePoint::zero() + c.config.duration;
+  v.pre_fault_goodput_bps =
+      r.goodput_series_bps.time_weighted_mean(pre_from, c.fault_start);
+  v.post_fault_goodput_bps =
+      r.goodput_series_bps.time_weighted_mean(post_from, run_end);
+  v.recovery_ratio = v.pre_fault_goodput_bps > 0.0
+                         ? v.post_fault_goodput_bps / v.pre_fault_goodput_bps
+                         : 0.0;
+
+  v.stranded_acks = r.stranded_acks;
+  v.invariant_violations = r.invariant_violations;
+  v.degrades = r.robustness.degrades;
+  v.reactivates = r.robustness.reactivates;
+  v.flushed_acks = r.robustness.flushed_acks + r.flushed_acks_at_end;
+  v.fault_drops = r.fault_drops;
+
+  if (v.recovery_ratio < c.min_recovery_ratio) {
+    v.failure = "goodput did not recover (ratio " +
+                std::to_string(v.recovery_ratio) + " < " +
+                std::to_string(c.min_recovery_ratio) + ")";
+  } else if (v.stranded_acks != 0) {
+    v.failure = std::to_string(v.stranded_acks) +
+                " feedback packets stranded in Zhuge state";
+  } else if (v.invariant_violations != 0) {
+    v.failure = std::to_string(v.invariant_violations) +
+                " runtime invariant violations";
+  } else if (c.expect_degrade && v.degrades == 0) {
+    v.failure = "watchdog never failed open under feedback starvation";
+  }
+  v.passed = v.failure.empty();
+  return v;
+}
+
+std::string format_verdict(const ChaosVerdict& v) {
+  std::string line = (v.passed ? "PASS " : "FAIL ") + v.name + ": goodput " +
+                     std::to_string(v.pre_fault_goodput_bps / 1e6) + " -> " +
+                     std::to_string(v.post_fault_goodput_bps / 1e6) +
+                     " Mbps (ratio " + std::to_string(v.recovery_ratio) +
+                     "), degrades=" + std::to_string(v.degrades) +
+                     ", reactivates=" + std::to_string(v.reactivates) +
+                     ", flushed=" + std::to_string(v.flushed_acks) +
+                     ", fault_drops=" + std::to_string(v.fault_drops) +
+                     ", invariants=" + std::to_string(v.invariant_violations);
+  if (!v.passed) line += " — " + v.failure;
+  return line;
+}
+
+}  // namespace zhuge::app

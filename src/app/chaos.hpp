@@ -1,0 +1,64 @@
+#pragma once
+// Chaos harness: named fault scenarios over the end-to-end topology plus
+// the recovery verdicts the robustness claims rest on.
+//
+// Each ChaosCase is one adverse condition injected into an otherwise
+// healthy run. A case passes when, after the fault clears:
+//   * flow 0's goodput is back within tolerance of its pre-fault level,
+//   * no feedback packet was stranded inside Zhuge state, and
+//   * no runtime invariant (obs/invariants.hpp) was violated.
+// Cases that starve the uplink additionally assert the watchdog actually
+// failed open (a watchdog that never fires is indistinguishable from no
+// watchdog). Lives in src/app (not src/fault) because verdicts are
+// computed from ScenarioResult.
+
+#include <string>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "fault/fault.hpp"
+
+namespace zhuge::app {
+
+/// One named fault scenario.
+struct ChaosCase {
+  std::string name;
+  ScenarioConfig config;        ///< includes config.faults
+  sim::TimePoint fault_start;   ///< recovery windows are derived from these
+  sim::TimePoint fault_end;
+  bool expect_degrade = false;  ///< the watchdog must fire during this case
+  double min_recovery_ratio = 0.9;  ///< post/pre goodput floor
+  /// How long after fault_end before goodput is judged: the CCA needs time
+  /// to ramp back (a total feedback blackout sends GCC to its floor).
+  sim::Duration post_settle = sim::Duration::seconds(2);
+};
+
+/// Outcome of one case, with everything a CI log needs to diagnose.
+struct ChaosVerdict {
+  std::string name;
+  bool passed = false;
+  std::string failure;  ///< first failed criterion, empty when passed
+
+  double pre_fault_goodput_bps = 0.0;
+  double post_fault_goodput_bps = 0.0;
+  double recovery_ratio = 0.0;
+  std::uint64_t stranded_acks = 0;
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t degrades = 0;
+  std::uint64_t reactivates = 0;
+  std::uint64_t flushed_acks = 0;
+  std::uint64_t fault_drops = 0;
+};
+
+/// The standard suite: every fault class the subsystem models, each as a
+/// bounded incident in a 25 s run (fault at 10 s, cleared well before the
+/// end). Deterministic in `seed`.
+[[nodiscard]] std::vector<ChaosCase> standard_chaos_suite(std::uint64_t seed);
+
+/// Run one case and judge it.
+[[nodiscard]] ChaosVerdict run_chaos_case(const ChaosCase& c);
+
+/// One-line human-readable verdict summary.
+[[nodiscard]] std::string format_verdict(const ChaosVerdict& v);
+
+}  // namespace zhuge::app

@@ -8,6 +8,7 @@
 #include "cca/cubic.hpp"
 #include "net/link.hpp"
 #include "net/seq.hpp"
+#include "obs/invariants.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "queue/fifo.hpp"
@@ -94,6 +95,16 @@ class Scenario {
   std::unique_ptr<wireless::Channel> down_channel_;
   std::unique_ptr<wireless::Channel> up_channel_;
   std::unique_ptr<wireless::Medium> medium_;
+
+  // Fault injectors wrap the four handler boundaries below. Each owns an
+  // independent RNG substream, so enabling a fault never perturbs the
+  // channel/CCA realisation of the clean run. Declared before ap_ and the
+  // links whose handlers call into them.
+  std::unique_ptr<fault::Injector> inj_downlink_wan_;       ///< WAN -> AP
+  std::unique_ptr<fault::Injector> inj_uplink_wireless_;    ///< client -> AP
+  std::unique_ptr<fault::Injector> inj_downlink_wireless_;  ///< AP -> client
+  std::unique_ptr<fault::Injector> inj_uplink_wan_;         ///< AP -> servers
+
   std::unique_ptr<AccessPoint> ap_;
 
   // WAN links (wired, stable).
@@ -112,6 +123,8 @@ class Scenario {
   ScenarioResult result_;
   TimePoint warmup_end_;
   TimePoint run_end_;
+  std::uint64_t goodput_bucket_bytes_ = 0;  ///< flow 0, current 50 ms bin
+  std::uint64_t invariants_at_start_ = 0;
 
   void client_send_uplink(Packet p);    ///< client -> wireless -> AP
   void server_receive(Packet p);        ///< feedback demux at the servers
@@ -136,17 +149,49 @@ void Scenario::build() {
   mcfg.interferers = cfg_.interferers;
   medium_ = std::make_unique<wireless::Medium>(sim_, *rng_, mcfg);
 
+  // Fault injectors (chaos harness). Each gets its own RNG substream and
+  // forwards survivors to the boundary's real handler. The lambdas below
+  // dereference these pointers at call time, so leaving one null simply
+  // keeps the boundary clean.
+  if (cfg_.faults.downlink_wan.any()) {
+    inj_downlink_wan_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(cfg_.seed, 31), cfg_.faults.downlink_wan,
+        [this](Packet p) { ap_->from_wan(std::move(p)); });
+  }
+  if (cfg_.faults.uplink_wireless.any()) {
+    inj_uplink_wireless_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(cfg_.seed, 37), cfg_.faults.uplink_wireless,
+        [this](Packet p) { ap_->from_client(std::move(p)); });
+  }
+  if (cfg_.faults.downlink_wireless.any()) {
+    inj_downlink_wireless_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(cfg_.seed, 41), cfg_.faults.downlink_wireless,
+        [this](Packet p) { client_receive(std::move(p)); });
+  }
+  if (cfg_.faults.uplink_wan.any()) {
+    inj_uplink_wan_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(cfg_.seed, 43), cfg_.faults.uplink_wan,
+        [this](Packet p) { server_receive(std::move(p)); });
+  }
+
   // AP -> servers wired uplink.
   net::PointToPointLink::Config up_cfg;
   up_cfg.rate_bps = cfg_.wan_rate_bps;
   up_cfg.prop_delay = cfg_.wan_one_way;
   wan_up_ = std::make_unique<net::PointToPointLink>(
       sim_, up_cfg, [this](Packet p) { server_receive(std::move(p)); });
+  if (inj_uplink_wan_) wan_up_->set_fault_hook(inj_uplink_wan_->as_handler());
 
   // The AP itself.
   ap_ = std::make_unique<AccessPoint>(
       sim_, *rng_, *down_channel_, *medium_, cfg_.ap,
-      [this](Packet p) { client_receive(std::move(p)); },
+      [this](Packet p) {
+        if (inj_downlink_wireless_) {
+          inj_downlink_wireless_->handle(std::move(p));
+        } else {
+          client_receive(std::move(p));
+        }
+      },
       [this](Packet p) { wan_up_->send(std::move(p)); });
 
   // Servers -> AP wired downlink.
@@ -155,20 +200,28 @@ void Scenario::build() {
   down_cfg.prop_delay = cfg_.wan_one_way;
   wan_down_ = std::make_unique<net::PointToPointLink>(
       sim_, down_cfg, [this](Packet p) { ap_->from_wan(std::move(p)); });
+  if (inj_downlink_wan_) wan_down_->set_fault_hook(inj_downlink_wan_->as_handler());
 
   // Client uplink: small FIFO through the shared wireless medium.
+  const PacketHandler uplink_delivery = [this](Packet p) {
+    if (inj_uplink_wireless_) {
+      inj_uplink_wireless_->handle(std::move(p));
+    } else {
+      ap_->from_client(std::move(p));
+    }
+  };
   if (cfg_.ap.link == LinkKind::kWifi) {
     uplink_qdisc_ = std::make_unique<queue::DropTailFifo>(200 * 1500);
     wireless::WifiLink::Config ul_cfg = cfg_.ap.wifi;
     ul_cfg.max_agg_packets = 8;  // feedback packets are small and few
     uplink_wifi_ = std::make_unique<wireless::WifiLink>(
         sim_, *rng_, *up_channel_, *medium_, *uplink_qdisc_, ul_cfg,
-        [this](Packet p) { ap_->from_client(std::move(p)); });
+        uplink_delivery);
   } else {
     uplink_cell_qdisc_ = std::make_unique<queue::DropTailFifo>(200 * 1500);
     uplink_cell_ = std::make_unique<wireless::CellularLink>(
         sim_, *rng_, *up_channel_, *uplink_cell_qdisc_, cfg_.ap.cellular,
-        [this](Packet p) { ap_->from_client(std::move(p)); });
+        uplink_delivery);
   }
 
   for (int i = 0; i < cfg_.rtc_flows; ++i) build_rtc_flow(static_cast<std::size_t>(i));
@@ -194,6 +247,17 @@ void Scenario::build() {
     bulk_flows_.front()->active = false;
     sim_.schedule_after(Duration::seconds(30), [t = Toggler{this}] { t(true); });
   }
+  // Scheduled non-packet faults: AP clock steps and optimiser restarts.
+  for (const auto& jump : cfg_.faults.clock_jumps) {
+    sim_.schedule_at(jump.at, [this, d = jump.delta] {
+      ap_->inject_clock_jump(d);
+    });
+  }
+  for (const auto& at : cfg_.faults.ap_restarts) {
+    sim_.schedule_at(at, [this] { ap_->restart_optimizer(); });
+  }
+  invariants_at_start_ = obs::invariants().total();
+
   if (cfg_.mcs_random_switch) {
     struct McsSwitcher {
       Scenario* s;
@@ -350,6 +414,9 @@ void Scenario::sample_series() {
                  : 0.0;
     }
     result_.rate_series_bps.record(sim_.now(), rate);
+    result_.goodput_series_bps.record(
+        sim_.now(), static_cast<double>(goodput_bucket_bytes_) * 8.0 / 0.05);
+    goodput_bucket_bytes_ = 0;
     ZHUGE_METRIC_SET("app.flow0.target_rate_bps", rate);
     ZHUGE_METRIC_SET("ap.queue_depth_bytes",
                      double(ap_->downlink_qdisc().byte_count()));
@@ -408,6 +475,7 @@ void Scenario::handle_delivery_metrics(const Packet& p, RtcFlow& f) {
     ZHUGE_METRIC_OBSERVE("app.rtt_ms", rtt_ms);
     ZHUGE_TRACE(now, "app", "rtt", {"rtt_ms", rtt_ms}, {"owd_ms", down_ms});
   }
+  if (&f == rtc_flows_.front().get()) goodput_bucket_bytes_ += p.size_bytes;
   if (now >= warmup_end_) {
     if (!is_tcp_flow) f.network_rtt_ms.add(rtt_ms);
     f.downlink_owd_ms.add(down_ms);
@@ -447,6 +515,22 @@ void Scenario::client_receive(Packet p) {
 
 ScenarioResult Scenario::run() {
   sim_.run_until(run_end_);
+
+  // Drain every held feedback packet while the whole topology is still
+  // alive — nothing Zhuge recorded may be stranded at teardown.
+  result_.flushed_acks_at_end = ap_->flush_feedback();
+  result_.stranded_acks = ap_->pending_feedback();
+  result_.robustness = ap_->robustness();
+  for (const auto* inj :
+       {inj_downlink_wan_.get(), inj_uplink_wireless_.get(),
+        inj_downlink_wireless_.get(), inj_uplink_wan_.get()}) {
+    if (inj == nullptr) continue;
+    result_.fault_drops += inj->dropped();
+    result_.fault_duplicated += inj->duplicated();
+    result_.fault_reordered += inj->reordered();
+  }
+  result_.invariant_violations =
+      obs::invariants().total() - invariants_at_start_;
 
   const double measured_secs = (cfg_.duration - cfg_.warmup).to_seconds();
   const auto warm_sec = static_cast<std::size_t>(cfg_.warmup.to_seconds());

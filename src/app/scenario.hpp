@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "app/access_point.hpp"
+#include "fault/fault.hpp"
 #include "net/packet.hpp"
 #include "rtc/video.hpp"
 #include "stats/distribution.hpp"
@@ -44,6 +45,7 @@ struct ScenarioConfig {
                                            ///< (empty = optimise all)
 
   rtc::VideoConfig video{};
+  fault::FaultPlan faults{};               ///< chaos harness (default: none)
   sim::Duration wan_one_way = sim::Duration::millis(20);
   double wan_rate_bps = 1e9;
   sim::Duration duration = sim::Duration::seconds(60);
@@ -75,6 +77,16 @@ struct ScenarioResult {
   std::uint64_t qdisc_drops = 0;
   std::uint64_t tcp_retransmissions = 0;  ///< flow 0, TCP mode
   std::uint64_t events_executed = 0;
+
+  // ---- robustness / chaos outputs ----
+  stats::TimeSeries goodput_series_bps;   ///< flow 0 delivered rate, 50 ms bins
+  AccessPoint::RobustnessStats robustness{};
+  std::uint64_t fault_drops = 0;          ///< injector drops, all boundaries
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_reordered = 0;
+  std::uint64_t flushed_acks_at_end = 0;  ///< feedback drained at run end
+  std::uint64_t stranded_acks = 0;        ///< still held after the drain (bug if > 0)
+  std::uint64_t invariant_violations = 0; ///< raised during this run
 
   /// Flow 0 shorthand.
   [[nodiscard]] const FlowResult& primary() const { return flows.front(); }

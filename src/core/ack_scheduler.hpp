@@ -9,10 +9,20 @@
 // value and black the feedback stream out after the congestion has passed.
 // Retreats shift every pending release by the same amount (clamped at
 // now), which preserves order.
+//
+// Robustness contract (chaos-tested):
+//  * flush() releases every held packet immediately — callers invoke it on
+//    flow teardown and on fail-open degradation, so an ACK is never
+//    stranded inside a dying or bypassed flow object;
+//  * an optional max-hold bound turns "no ACK held past the cap" into a
+//    checked invariant (feedback.hold_bound) instead of an assumption;
+//  * the destructor cancels the pending timer — a flow torn down mid-run
+//    (AP restart) must not leave a dangling callback in the simulator.
 
 #include <deque>
 
 #include "net/packet.hpp"
+#include "obs/invariants.hpp"
 #include "sim/simulator.hpp"
 
 namespace zhuge::core {
@@ -26,12 +36,24 @@ class AckScheduler {
   AckScheduler(sim::Simulator& simulator, net::PacketHandler out)
       : sim_(simulator), out_(std::move(out)) {}
 
+  ~AckScheduler() {
+    if (timer_ != 0) sim_.cancel(timer_);
+  }
+
+  AckScheduler(const AckScheduler&) = delete;
+  AckScheduler& operator=(const AckScheduler&) = delete;
+
   /// Hold `p` until `release` (clamped to now). Releases stay ordered as
   /// long as callers never pass a `release` before the previous one —
-  /// which the order-preserving floor in the updater guarantees.
+  /// which the order-preserving floor in the updater guarantees (and the
+  /// feedback.ack_order invariant checks).
   void hold(net::Packet p, TimePoint release) {
-    if (release < sim_.now()) release = sim_.now();
-    pending_.push_back({std::move(p), release});
+    const TimePoint now = sim_.now();
+    if (release < now) release = now;
+    ZHUGE_INVARIANT(now, "feedback.ack_order",
+                    pending_.empty() || release >= pending_.back().release,
+                    "hold scheduled before the previously scheduled release");
+    pending_.push_back({std::move(p), release, now});
     arm();
   }
 
@@ -49,6 +71,24 @@ class AckScheduler {
     return last_before - pending_.back().release;
   }
 
+  /// Release every held packet immediately, in order. Returns how many
+  /// packets were flushed. Used on flow teardown and fail-open.
+  std::size_t flush() {
+    const std::size_t n = pending_.size();
+    while (!pending_.empty()) {
+      release_front(sim_.now());
+    }
+    if (timer_ != 0) {
+      sim_.cancel(timer_);
+      timer_ = 0;
+    }
+    return n;
+  }
+
+  /// Declare the longest a packet may legally sit in this queue; releases
+  /// beyond it raise the feedback.hold_bound invariant. Zero disables.
+  void set_max_hold(Duration max_hold) { max_hold_ = max_hold; }
+
   /// Release time of the most recently scheduled packet (now if empty).
   [[nodiscard]] TimePoint last_release(TimePoint now) const {
     return pending_.empty() ? now : pending_.back().release;
@@ -60,6 +100,7 @@ class AckScheduler {
   struct Held {
     net::Packet packet;
     TimePoint release;
+    TimePoint held_since;
   };
 
   void arm() {
@@ -74,11 +115,21 @@ class AckScheduler {
     });
   }
 
+  void release_front(TimePoint now) {
+    Held h = std::move(pending_.front());
+    pending_.pop_front();
+    ZHUGE_INVARIANT(now, "feedback.hold_bound",
+                    max_hold_ <= Duration::zero() ||
+                        now - h.held_since <= max_hold_,
+                    "ACK held " + std::to_string((now - h.held_since).to_millis()) +
+                        " ms, cap " + std::to_string(max_hold_.to_millis()) + " ms");
+    out_(std::move(h.packet));
+  }
+
   void fire() {
     const TimePoint now = sim_.now();
     while (!pending_.empty() && pending_.front().release <= now) {
-      out_(std::move(pending_.front().packet));
-      pending_.pop_front();
+      release_front(now);
     }
     arm();
   }
@@ -87,6 +138,7 @@ class AckScheduler {
   net::PacketHandler out_;
   std::deque<Held> pending_;
   sim::EventId timer_ = 0;
+  Duration max_hold_ = Duration::zero();
 };
 
 }  // namespace zhuge::core

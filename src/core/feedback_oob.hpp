@@ -34,6 +34,7 @@
 #include <memory>
 
 #include "core/ack_scheduler.hpp"
+#include "obs/invariants.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sim/random.hpp"
@@ -91,6 +92,10 @@ class OobFeedbackUpdater {
                      net::PacketHandler out)
       : cfg_(cfg), rng_(rng), delta_history_(cfg.delta_window) {
     scheduler_ = std::make_unique<AckScheduler>(simulator, std::move(out));
+    // Every hold is floor+extra <= max_pending_shift by construction;
+    // declare that as a checked bound so regressions (and faults that
+    // would strand ACKs) surface as feedback.hold_bound violations.
+    scheduler_->set_max_hold(cfg.max_pending_shift);
   }
 
   /// Algorithm 1: fold one predicted totalDelay into the delta state.
@@ -140,6 +145,8 @@ class OobFeedbackUpdater {
     const Duration floor = last > now ? last - now : Duration::zero();
     const Duration extra = draw_extra(now, floor);
     const Duration actual = floor + extra;
+    ZHUGE_INVARIANT(now, "feedback.extra_bound", extra <= cfg_.max_extra_delay,
+                    "sampled extra exceeds max_extra_delay");
     last_sent_time_ = now + actual;
     has_sent_ = true;
     ZHUGE_METRIC_INC("feedback.oob.acks");
@@ -163,6 +170,35 @@ class OobFeedbackUpdater {
   [[nodiscard]] Duration observed_shift() const { return observed_shift_; }
   [[nodiscard]] std::size_t pending_holds() const {
     return scheduler_ == nullptr ? 0 : scheduler_->pending();
+  }
+
+  /// Release every held ACK immediately (teardown / fail-open). Returns
+  /// how many packets were flushed.
+  std::size_t flush_pending() {
+    return scheduler_ == nullptr ? 0 : scheduler_->flush();
+  }
+
+  /// Reset learning state after an outage or AP restart. The release
+  /// clock (last_sent_time_) is *kept*: ACKs observed before the outage
+  /// were genuinely sent, and forgetting them could reorder feedback.
+  /// Delta history ages out of its window on its own.
+  void reset_after_outage() {
+    token_history_.clear();
+    token_total_ = Duration::zero();
+    observed_shift_ = Duration::zero();
+    applied_shift_ = Duration::zero();
+    pending_accumulated_ = Duration::zero();
+    has_last_ = false;
+  }
+
+  /// Clock discontinuity between AP and the rest of the network. After a
+  /// backward jump the remembered release clock can sit far in the new
+  /// future and would freeze feedback; clamp it into a sane band.
+  void on_clock_jump(TimePoint now) {
+    if (!has_sent_) return;
+    const TimePoint hi = now + cfg_.max_pending_shift;
+    if (last_sent_time_ > hi) last_sent_time_ = hi;
+    if (last_sent_time_ < now) last_sent_time_ = now;
   }
 
  private:

@@ -10,26 +10,63 @@
 //                     decision says whether to forward now, hold for a
 //                     computed delay (out-of-band), or drop (a client TWCC
 //                     that Zhuge replaces, in-band).
+//
+// Fail-open degradation (robustness; not in the paper): Zhuge sits in the
+// feedback path, so a broken Zhuge is strictly worse than no Zhuge — a
+// wedged optimiser that keeps holding ACKs or dropping client TWCC
+// silently starves the sender's congestion controller. The watchdog
+// therefore fails *open*: when uplink feedback goes silent while downlink
+// data keeps flowing, or when Fortune Teller predictions diverge
+// persistently from observed queue delays, the flow flushes every held
+// ACK, stops dropping client TWCC, and forwards everything untouched
+// (exactly the no-Zhuge baseline). Once feedback returns and predictions
+// re-converge, the flow re-activates with its learning state reset —
+// keeping only what is needed to preserve feedback order across the
+// outage.
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/feedback_inband.hpp"
 #include "core/feedback_oob.hpp"
 #include "core/fortune_teller.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "queue/qdisc.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "stats/windowed.hpp"
 
 namespace zhuge::core {
+
+/// Fail-open watchdog tuning. Thresholds are deliberately generous:
+/// degrading a healthy flow costs real optimisation, so only sustained,
+/// unambiguous brokenness may trip it.
+struct WatchdogConfig {
+  bool enabled = true;
+  /// Uplink silence longer than this — while downlink data keeps flowing
+  /// and an updater exists (i.e. Zhuge is actively intercepting feedback)
+  /// — trips fail-open.
+  Duration feedback_timeout = Duration::millis(500);
+  /// EWMA of |observed queue wait − predicted delay| above this (ms),
+  /// sustained over min_divergence_samples, trips fail-open.
+  double divergence_threshold_ms = 400.0;
+  double divergence_alpha = 0.05;
+  std::uint64_t min_divergence_samples = 200;
+  /// Minimum time spent degraded before re-activation is considered.
+  Duration recovery_settle = Duration::millis(250);
+};
 
 /// Everything tunable about one Zhuge flow.
 struct ZhugeConfig {
   FortuneTellerConfig fortune{};
   OobConfig oob{};
   InbandConfig inband{};
+  WatchdogConfig watchdog{};
 };
 
 /// What the AP should do with an uplink packet.
@@ -39,6 +76,9 @@ struct UplinkDecision {
   UplinkAction action = UplinkAction::kForward;
   Duration delay = Duration::zero();  ///< meaningful for kDelay
 };
+
+/// Degradation state of one flow.
+enum class FlowMode : std::uint8_t { kActive, kDegraded };
 
 /// Per-flow Zhuge state machine.
 class ZhugeFlow {
@@ -52,18 +92,29 @@ class ZhugeFlow {
         flow_(flow),
         cfg_(cfg),
         send_feedback_(std::move(send_feedback)),
-        teller_(cfg.fortune) {}
+        teller_(cfg.fortune),
+        divergence_ms_(cfg.watchdog.divergence_alpha) {}
 
   /// Feed departures of this flow from the downlink network-layer queue.
   /// `queue_empty_after`: the flow's queue is empty after this departure.
   void on_dequeue(const net::Packet& p, TimePoint now, bool queue_empty_after = false) {
     teller_.on_dequeue(p.size_bytes, now, queue_empty_after);
+    // Prediction-quality tracking for the watchdog: compare the fortune
+    // told at enqueue with the queue wait actually experienced. Own-flow
+    // packets only (shared queues feed every teller every departure).
+    if (p.flow == flow_ && p.predicted_delay_ms >= 0.0) {
+      const double waited_ms = (now - p.ap_enqueue_time).to_millis();
+      divergence_ms_.record(std::abs(waited_ms - p.predicted_delay_ms));
+      ++divergence_samples_;
+    }
   }
 
   /// Predict the fortune of a downlink data packet just before it is
   /// offered to the qdisc (the packet sees the queue in front of it, §2.3)
   /// and annotate `p.predicted_delay_ms`.
   [[nodiscard]] Duration predict_downlink(net::Packet& p, const queue::Qdisc& qdisc) {
+    last_downlink_ = sim_.now();
+    saw_downlink_ = true;
     const auto pred = teller_.predict(sim_.now(), qdisc, flow_);
     const Duration total = pred.total();
     p.predicted_delay_ms = total.to_millis();
@@ -73,8 +124,11 @@ class ZhugeFlow {
   /// Commit the predicted fortune to the feedback state. Call only after
   /// the packet was actually accepted by the qdisc: a tail-dropped packet
   /// must not be reported as (eventually) received — the AP sees the drop
-  /// and keeps the loss visible to the sender.
+  /// and keeps the loss visible to the sender. No-op while degraded: a
+  /// failed-open flow records no fortunes (the client's own feedback is
+  /// flowing instead).
   void commit_downlink(bool is_rtp, const net::RtpHeader* rtp, Duration total) {
+    if (mode_ == FlowMode::kDegraded) return;
     if (is_rtp && rtp != nullptr) {
       inband(rtp->ssrc).on_rtp_packet(*rtp, total);
     } else {
@@ -94,8 +148,14 @@ class ZhugeFlow {
 
   /// Handle an uplink packet of the reverse flow end to end: drop it,
   /// forward it immediately, or hold it on the retreatable release queue.
-  /// Returns the action taken (for the AP's counters).
+  /// Returns the action taken (for the AP's counters). While degraded,
+  /// everything passes through untouched (fail-open).
   UplinkAction handle_uplink(net::Packet p) {
+    touch_uplink();
+    if (mode_ == FlowMode::kDegraded) {
+      send_feedback_(std::move(p));
+      return UplinkAction::kForward;
+    }
     if (p.is_rtcp()) {
       if (inband_ && inband_->should_drop_uplink(p)) return UplinkAction::kDrop;
       send_feedback_(std::move(p));
@@ -113,6 +173,10 @@ class ZhugeFlow {
   /// Decide what to do with an uplink packet of the reverse flow
   /// (introspection form used by unit tests; does not forward anything).
   [[nodiscard]] UplinkDecision on_uplink(const net::Packet& p) {
+    touch_uplink();
+    if (mode_ == FlowMode::kDegraded) {
+      return {UplinkAction::kForward, Duration::zero()};
+    }
     if (p.is_rtcp()) {
       // In-band mode: drop the client's own TWCC (Zhuge builds its own);
       // NACKs and receiver reports pass through untouched.
@@ -133,11 +197,110 @@ class ZhugeFlow {
     return {UplinkAction::kForward, Duration::zero()};
   }
 
+  /// Evaluate the fail-open watchdog. Event-driven: the AP calls this on
+  /// packet arrivals (no timer — a silent *network* has nothing to fail
+  /// open for, and a recurring timer would keep an otherwise-finished
+  /// simulation alive forever).
+  void check_watchdog(TimePoint now) {
+    if (!cfg_.watchdog.enabled) return;
+    if (mode_ == FlowMode::kActive) {
+      if (feedback_silent(now)) {
+        degrade(now, "feedback_silence");
+      } else if (divergence_tripped()) {
+        degrade(now, "prediction_divergence");
+      }
+      return;
+    }
+    // Degraded: re-activate once feedback is demonstrably alive again,
+    // predictions are no longer wildly off, and we have sat out the
+    // settle period.
+    if (now - degraded_since_ < cfg_.watchdog.recovery_settle) return;
+    const bool uplink_alive =
+        saw_uplink_ && now - last_uplink_ < cfg_.watchdog.feedback_timeout / 2;
+    if (uplink_alive && !divergence_tripped()) reactivate(now);
+  }
+
+  /// Flush every held/pending feedback artefact immediately. Called on
+  /// flow teardown and before destruction during a live simulation — an
+  /// ACK recorded by Zhuge must never be stranded. Idempotent.
+  /// Returns how many packets were released.
+  std::size_t teardown() {
+    std::size_t flushed = 0;
+    if (oob_) flushed += oob_->flush_pending();
+    if (inband_) {
+      const auto before = inband_->feedback_sent();
+      inband_->flush_now();
+      flushed += static_cast<std::size_t>(inband_->feedback_sent() - before);
+    }
+    flushed_on_teardown_ += flushed;
+    return flushed;
+  }
+
+  /// AP clock discontinuity of `delta` (positive = jumped forward).
+  void on_clock_jump(Duration delta) {
+    if (oob_) oob_->on_clock_jump(sim_.now());
+    if (inband_) inband_->on_clock_jump(delta);
+    ZHUGE_TRACE(sim_.now(), "zhuge", "clock_jump",
+                {"delta_ms", delta.to_millis()});
+  }
+
   [[nodiscard]] FortuneTeller& fortune_teller() { return teller_; }
   [[nodiscard]] const net::FlowId& flow() const { return flow_; }
   [[nodiscard]] bool is_inband() const { return inband_ != nullptr; }
+  [[nodiscard]] FlowMode mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t degrade_count() const { return degrade_count_; }
+  [[nodiscard]] std::uint64_t reactivate_count() const { return reactivate_count_; }
+  [[nodiscard]] std::uint64_t flushed_on_teardown() const { return flushed_on_teardown_; }
+  [[nodiscard]] std::size_t pending_feedback() const {
+    std::size_t n = 0;
+    if (oob_) n += oob_->pending_holds();
+    if (inband_) n += inband_->pending_entries();
+    return n;
+  }
 
  private:
+  [[nodiscard]] bool feedback_silent(TimePoint now) const {
+    // Silence only means something when Zhuge is actually intercepting
+    // feedback (an updater exists), feedback has flowed before, and the
+    // downlink is currently active — otherwise the whole path is idle.
+    if (oob_ == nullptr && inband_ == nullptr) return false;
+    if (!saw_uplink_ || !saw_downlink_) return false;
+    return now - last_uplink_ > cfg_.watchdog.feedback_timeout &&
+           now - last_downlink_ < cfg_.watchdog.feedback_timeout / 4;
+  }
+
+  [[nodiscard]] bool divergence_tripped() const {
+    return divergence_samples_ >= cfg_.watchdog.min_divergence_samples &&
+           divergence_ms_.has_value() &&
+           divergence_ms_.value() > cfg_.watchdog.divergence_threshold_ms;
+  }
+
+  void degrade(TimePoint now, const char* reason) {
+    mode_ = FlowMode::kDegraded;
+    degraded_since_ = now;
+    ++degrade_count_;
+    const std::size_t flushed = teardown();
+    ZHUGE_METRIC_INC("zhuge.degrade");
+    ZHUGE_TRACE(now, "zhuge", "degrade", {"flushed", double(flushed)},
+                {"silence", std::string(reason) == "feedback_silence" ? 1.0 : 0.0});
+  }
+
+  void reactivate(TimePoint now) {
+    mode_ = FlowMode::kActive;
+    ++reactivate_count_;
+    if (oob_) oob_->reset_after_outage();
+    if (inband_) inband_->reset_after_outage();
+    divergence_ms_.reset();
+    divergence_samples_ = 0;
+    ZHUGE_METRIC_INC("zhuge.reactivate");
+    ZHUGE_TRACE(now, "zhuge", "reactivate");
+  }
+
+  void touch_uplink() {
+    last_uplink_ = sim_.now();
+    saw_uplink_ = true;
+  }
+
   OobFeedbackUpdater& oob() {
     if (!oob_) {
       oob_ = std::make_unique<OobFeedbackUpdater>(sim_, cfg_.oob, rng_,
@@ -161,6 +324,18 @@ class ZhugeFlow {
   FortuneTeller teller_;
   std::unique_ptr<OobFeedbackUpdater> oob_;
   std::unique_ptr<InbandFeedbackUpdater> inband_;
+
+  FlowMode mode_ = FlowMode::kActive;
+  TimePoint last_uplink_;
+  TimePoint last_downlink_;
+  TimePoint degraded_since_;
+  bool saw_uplink_ = false;
+  bool saw_downlink_ = false;
+  stats::Ewma divergence_ms_;
+  std::uint64_t divergence_samples_ = 0;
+  std::uint64_t degrade_count_ = 0;
+  std::uint64_t reactivate_count_ = 0;
+  std::uint64_t flushed_on_teardown_ = 0;
 };
 
 }  // namespace zhuge::core

@@ -1,0 +1,147 @@
+#pragma once
+// Deterministic fault injection at packet-handler boundaries.
+//
+// An Injector wraps any PacketHandler (a link's delivery sink, the AP's
+// from_client entry, ...) and applies configured adverse conditions on the
+// way through: Gilbert-Elliott burst loss, independent random loss,
+// duplication, reordering, scheduled blackouts, and fade windows that add
+// latency. Everything is driven by the simulation clock and a dedicated
+// PCG substream, so a faulty run is exactly as reproducible as a clean
+// one — same (config, seed) in, same packet-level outcome out.
+//
+// Scenario-level faults that are not per-packet — AP mid-flow restarts
+// and AP clock jumps — are described by FaultPlan and scheduled by the
+// scenario harness (src/app/scenario.cpp), which also decides where each
+// injector sits (WAN ingress, uplink wireless delivery, ...).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace zhuge::fault {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Two-state Gilbert-Elliott burst-loss model, advanced once per packet.
+struct GilbertElliott {
+  double p_enter_bad = 0.0;  ///< P(good -> bad) per packet; 0 disables
+  double p_exit_bad = 0.25;  ///< P(bad -> good) per packet
+  double loss_good = 0.0;    ///< per-packet loss prob in the good state
+  double loss_bad = 1.0;     ///< per-packet loss prob in the bad state
+
+  [[nodiscard]] bool enabled() const { return p_enter_bad > 0.0; }
+};
+
+/// Half-open absolute-time window [start, end).
+struct Window {
+  TimePoint start;
+  TimePoint end;
+
+  [[nodiscard]] bool contains(TimePoint t) const { return t >= start && t < end; }
+};
+
+/// Per-boundary fault configuration. Defaults inject nothing.
+struct InjectorConfig {
+  double loss_prob = 0.0;          ///< independent per-packet loss
+  GilbertElliott burst{};          ///< burst loss (on top of loss_prob)
+  double dup_prob = 0.0;           ///< per-packet duplication
+  double reorder_prob = 0.0;       ///< per-packet late delivery
+  Duration reorder_delay = Duration::millis(5);  ///< how late a reordered packet lands
+  std::vector<Window> blackouts;   ///< drop everything inside these windows
+  Duration fade_delay = Duration::zero();        ///< extra latency during fades
+  std::vector<Window> fades;       ///< fade_delay applies inside these windows
+  /// When non-empty, the probabilistic faults (loss_prob, burst, dup,
+  /// reorder) apply only inside these windows — chaos cases use this so a
+  /// fault *clears* and recovery can be asserted. Blackouts and fades are
+  /// already windowed.
+  std::vector<Window> active;
+
+  [[nodiscard]] bool any() const {
+    return loss_prob > 0.0 || burst.enabled() || dup_prob > 0.0 ||
+           reorder_prob > 0.0 || !blackouts.empty() ||
+           (fade_delay > Duration::zero() && !fades.empty());
+  }
+};
+
+/// An AP clock step (NTP-style) applied at an instant.
+struct ClockJump {
+  TimePoint at;
+  Duration delta;  ///< positive = clock leaps forward
+};
+
+/// Scenario-level fault plan: one injector per boundary the harness wraps,
+/// plus the non-packet faults the harness schedules itself.
+struct FaultPlan {
+  InjectorConfig downlink_wan{};       ///< servers -> AP wired ingress
+  InjectorConfig uplink_wireless{};    ///< client -> AP wireless delivery
+  InjectorConfig downlink_wireless{};  ///< AP -> client wireless delivery
+  InjectorConfig uplink_wan{};         ///< AP -> servers wired delivery
+  std::vector<ClockJump> clock_jumps;  ///< steps applied to the AP clock
+  std::vector<TimePoint> ap_restarts;  ///< mid-flow AP state wipes
+
+  [[nodiscard]] bool any() const {
+    return downlink_wan.any() || uplink_wireless.any() ||
+           downlink_wireless.any() || uplink_wan.any() ||
+           !clock_jumps.empty() || !ap_restarts.empty();
+  }
+};
+
+/// PacketHandler wrapper applying InjectorConfig deterministically.
+class Injector {
+ public:
+  /// `rng` is taken by value: each injector owns an independent substream
+  /// so adding faults at one boundary never perturbs another boundary's
+  /// (or the channel's) randomness.
+  Injector(sim::Simulator& simulator, sim::Rng rng, InjectorConfig cfg,
+           net::PacketHandler sink);
+
+  /// Run one packet through the fault pipeline.
+  void handle(net::Packet p);
+
+  /// Adapter for wiring into PacketHandler slots.
+  [[nodiscard]] net::PacketHandler as_handler() {
+    return [this](net::Packet p) { handle(std::move(p)); };
+  }
+
+  // Counters (tests / chaos reporting).
+  [[nodiscard]] std::uint64_t passed() const { return passed_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return random_drops_ + burst_drops_ + blackout_drops_;
+  }
+  [[nodiscard]] std::uint64_t random_drops() const { return random_drops_; }
+  [[nodiscard]] std::uint64_t burst_drops() const { return burst_drops_; }
+  [[nodiscard]] std::uint64_t blackout_drops() const { return blackout_drops_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+  [[nodiscard]] bool in_burst() const { return burst_bad_; }
+
+ private:
+  static bool in_windows(const std::vector<Window>& ws, TimePoint t) {
+    for (const Window& w : ws) {
+      if (w.contains(t)) return true;
+    }
+    return false;
+  }
+
+  void deliver(net::Packet p, Duration extra);
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  InjectorConfig cfg_;
+  net::PacketHandler sink_;
+
+  bool burst_bad_ = false;
+  std::uint64_t passed_ = 0;
+  std::uint64_t random_drops_ = 0;
+  std::uint64_t burst_drops_ = 0;
+  std::uint64_t blackout_drops_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace zhuge::fault

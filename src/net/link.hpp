@@ -2,12 +2,19 @@
 // Point-to-point wired link: serialization at a fixed rate plus fixed
 // propagation delay, with an optional drop-tail buffer. Models the WAN
 // segment and the AP's Ethernet uplink, which the paper treats as stable.
+//
+// "Stable" is the default, not a law: loss_prob models residual wire
+// corruption, and set_fault_hook() lets a fault injector interpose on the
+// delivery path without the link knowing anything about fault plans.
 
 #include <cstdint>
 #include <deque>
 #include <optional>
 
 #include "net/packet.hpp"
+#include "obs/invariants.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -22,6 +29,7 @@ class PointToPointLink {
     Duration prop_delay = Duration::millis(1);
     std::int64_t buffer_bytes = -1;   ///< -1 = unbounded
     Duration jitter_max = Duration::zero();  ///< uniform extra delay in [0, jitter_max]
+    double loss_prob = 0.0;  ///< per-packet random loss (needs set_rng)
   };
 
   PointToPointLink(sim::Simulator& simulator, Config cfg, PacketHandler sink)
@@ -33,6 +41,10 @@ class PointToPointLink {
     if (cfg_.buffer_bytes >= 0 &&
         queued_bytes_ + p.size_bytes > cfg_.buffer_bytes) {
       ++drops_;
+      ZHUGE_METRIC_INC("link.drops");
+      ZHUGE_TRACE(sim_.now(), "link", "drop", {"reason_overflow", 1.0},
+                  {"bytes", double(p.size_bytes)},
+                  {"queued_bytes", double(queued_bytes_)});
       return false;
     }
     queued_bytes_ += p.size_bytes;
@@ -44,10 +56,17 @@ class PointToPointLink {
   /// Attach/replace the delivery sink.
   void set_sink(PacketHandler sink) { sink_ = std::move(sink); }
 
-  /// Provide a jitter RNG; without one, jitter_max is ignored.
+  /// Provide an RNG for jitter and random loss; without one, jitter_max
+  /// and loss_prob are ignored.
   void set_rng(sim::Rng* rng) { rng_ = rng; }
 
+  /// Interpose a handler between the wire and the sink (fault injection).
+  /// Pass nullptr to remove. The hook receives every packet that survived
+  /// serialization, propagation, and random loss.
+  void set_fault_hook(PacketHandler hook) { fault_hook_ = std::move(hook); }
+
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t random_drops() const { return random_drops_; }
   [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
@@ -61,16 +80,31 @@ class PointToPointLink {
     Packet p = std::move(queue_.front());
     queue_.pop_front();
     queued_bytes_ -= p.size_bytes;
+    ZHUGE_INVARIANT(sim_.now(), "link.nonnegative_bytes", queued_bytes_ >= 0,
+                    "link byte accounting went negative");
     const Duration tx = Duration::from_seconds(
         static_cast<double>(p.size_bytes) * 8.0 / cfg_.rate_bps);
     sim_.schedule_after(tx, [this, p = std::move(p)]() mutable {
+      if (rng_ != nullptr && cfg_.loss_prob > 0.0 &&
+          rng_->chance(cfg_.loss_prob)) {
+        ++random_drops_;
+        ZHUGE_METRIC_INC("link.drops");
+        ZHUGE_TRACE(sim_.now(), "link", "drop", {"reason_random_loss", 1.0},
+                    {"bytes", double(p.size_bytes)});
+        transmit_next();
+        return;
+      }
       Duration extra = cfg_.prop_delay;
       if (rng_ != nullptr && cfg_.jitter_max > Duration::zero()) {
         extra += Duration::from_seconds(
             rng_->uniform(0.0, cfg_.jitter_max.to_seconds()));
       }
       sim_.schedule_after(extra, [this, p = std::move(p)]() mutable {
-        if (sink_) sink_(std::move(p));
+        if (fault_hook_) {
+          fault_hook_(std::move(p));
+        } else if (sink_) {
+          sink_(std::move(p));
+        }
       });
       transmit_next();
     });
@@ -79,11 +113,13 @@ class PointToPointLink {
   sim::Simulator& sim_;
   Config cfg_;
   PacketHandler sink_;
+  PacketHandler fault_hook_;
   sim::Rng* rng_ = nullptr;
   std::deque<Packet> queue_;
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
-  std::uint64_t drops_ = 0;
+  std::uint64_t drops_ = 0;         ///< buffer overflow (tail) drops
+  std::uint64_t random_drops_ = 0;  ///< loss_prob drops
 };
 
 }  // namespace zhuge::net

@@ -62,8 +62,17 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const char* what) const {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
+    // Show the offending text so a user can find the problem without a
+    // hex editor: up to 20 chars at the failure position, sanitized.
+    std::string near(text_.substr(pos_, 20));
+    for (char& c : near) {
+      if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+    }
+    if (pos_ + 20 < text_.size()) near += "...";
+    std::string msg = "JSON parse error at offset " + std::to_string(pos_) +
+                      ": " + what;
+    msg += near.empty() ? " (at end of input)" : " near \"" + near + "\"";
+    throw std::runtime_error(msg);
   }
 
   void skip_ws() {
@@ -327,7 +336,12 @@ std::vector<LoadedEvent> load_trace(std::istream& in) {
 std::vector<LoadedEvent> load_trace_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return load_trace(in);
+  try {
+    return load_trace(in);
+  } catch (const std::runtime_error& e) {
+    // Prefix the file so multi-file pipelines report which input is bad.
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 }  // namespace zhuge::obs

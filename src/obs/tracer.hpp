@@ -14,6 +14,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "obs/invariants.hpp"
 #include "obs/metrics.hpp"  // ZHUGE_OBS_ENABLED
 #include "sim/time.hpp"
 
@@ -121,6 +122,7 @@ inline Tracer& tracer() {
 inline void reset() {
   tracer().clear();
   metrics().clear();
+  invariants().clear();
 }
 
 }  // namespace zhuge::obs

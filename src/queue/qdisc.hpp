@@ -15,6 +15,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/invariants.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sim/time.hpp"
@@ -86,6 +87,8 @@ class Qdisc {
   }
 
   void obs_dequeued(const Packet& p, TimePoint now, Duration sojourn) {
+    ZHUGE_INVARIANT(now, "queue.nonnegative_bytes", byte_count() >= 0,
+                    "qdisc byte accounting went negative");
     ZHUGE_METRIC_INC(obs_dequeued_name_);
     ZHUGE_METRIC_OBSERVE(obs_sojourn_name_, sojourn.to_micros());
     ZHUGE_TRACE(now, obs_component_, "dequeue", {"bytes", double(p.size_bytes)},

@@ -1,8 +1,9 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 namespace zhuge::trace {
@@ -36,6 +37,44 @@ double Trace::mean_rate_bps() const {
   return s / static_cast<double>(samples_.size());
 }
 
+namespace {
+
+/// Truncated copy of an offending line, safe to embed in a what() string.
+std::string excerpt(const std::string& line) {
+  constexpr std::size_t kMax = 60;
+  std::string out = line.substr(0, kMax);
+  for (char& c : out) {
+    if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+  }
+  if (line.size() > kMax) out += "...";
+  return out;
+}
+
+[[noreturn]] void fail_line(const std::string& path, std::size_t lineno,
+                            const std::string& line, const std::string& what) {
+  throw std::runtime_error("trace: " + path + ":" + std::to_string(lineno) +
+                           ": " + what + " in \"" + excerpt(line) + "\"");
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return {};
+  const std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+/// strtod with a full-token check, so "nan"/"inf" reach the finiteness
+/// diagnostic below instead of dying as generic stream-extraction
+/// failures, and "1.5x" is rejected rather than silently truncated.
+bool parse_number(const std::string& tok, double& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+}  // namespace
+
 Trace load_csv(const std::string& path, const std::string& name) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("trace: cannot open " + path);
@@ -45,15 +84,35 @@ Trace load_csv(const std::string& path, const std::string& name) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      fail_line(path, lineno, line, "expected \"time_ms,rate_mbps\"");
+    }
+    const std::string t_tok = trim(line.substr(0, comma));
+    std::string r_tok = trim(line.substr(comma + 1));
+    const std::size_t extra = r_tok.find_first_of(" \t,");
+    if (extra != std::string::npos) {
+      fail_line(path, lineno, line,
+                "trailing token \"" + trim(r_tok.substr(extra)) + "\"");
+    }
     double t_ms = 0.0;
     double mbps = 0.0;
-    char comma = 0;
-    if (!(ss >> t_ms >> comma >> mbps) || comma != ',') {
-      throw std::runtime_error("trace: malformed line " + std::to_string(lineno) +
-                               " in " + path);
+    if (!parse_number(t_tok, t_ms) || !parse_number(r_tok, mbps)) {
+      fail_line(path, lineno, line, "expected \"time_ms,rate_mbps\"");
     }
-    samples.push_back({TimePoint{static_cast<std::int64_t>(t_ms * 1e6)}, mbps * 1e6});
+    if (!std::isfinite(t_ms) || !std::isfinite(mbps)) {
+      fail_line(path, lineno, line, "non-finite value");
+    }
+    if (mbps < 0.0) {
+      fail_line(path, lineno, line, "negative rate");
+    }
+    const TimePoint t{static_cast<std::int64_t>(t_ms * 1e6)};
+    if (!samples.empty() && t < samples.back().t) {
+      fail_line(path, lineno, line,
+                "time going backwards (previous sample at " +
+                    std::to_string(samples.back().t.to_millis()) + " ms)");
+    }
+    samples.push_back({t, mbps * 1e6});
   }
   if (samples.empty()) throw std::runtime_error("trace: empty file " + path);
   return Trace{name, std::move(samples)};

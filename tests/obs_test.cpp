@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -259,6 +261,59 @@ TEST(Reader, RejectsMalformedInput) {
   EXPECT_THROW((void)load_trace(ss), std::runtime_error);
   EXPECT_THROW((void)load_trace_file("/nonexistent/trace.json"),
                std::runtime_error);
+}
+
+/// What load_trace says about `text`; empty when it parses fine.
+std::string reader_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    (void)load_trace(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Reader, TruncatedDocumentErrorShowsOffsetAndEnd) {
+  const std::string msg = reader_error("{\"traceEvents\": [ {\"ph\": ");
+  EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at end of input"), std::string::npos) << msg;
+}
+
+TEST(Reader, GarbageTokenErrorShowsSnippet) {
+  const std::string msg = reader_error("{\"ts\": @@garbage@@}");
+  EXPECT_NE(msg.find("near \""), std::string::npos) << msg;
+  EXPECT_NE(msg.find("@@garbage@@"), std::string::npos) << msg;
+}
+
+TEST(Reader, BadJsonlLineErrorNamesTheLine) {
+  const std::string msg = reader_error(
+      "{\"t_us\": 1, \"name\": \"a\"}\nnot json at all\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(Reader, ControlCharactersSanitizedInSnippet) {
+  const std::string msg = reader_error(std::string("{\"ts\": \x01\x02oops}"));
+  EXPECT_FALSE(msg.empty());
+  for (char c : msg) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(Reader, FileErrorsArePrefixedWithPath) {
+  const std::string path = "/tmp/zhuge_obs_bad_trace.json";
+  {
+    std::ofstream out(path);
+    out << "{\"traceEvents\": [ {\"ph\": ";
+  }
+  std::string msg;
+  try {
+    (void)load_trace_file(path);
+  } catch (const std::runtime_error& e) {
+    msg = e.what();
+  }
+  std::filesystem::remove(path);
+  EXPECT_EQ(msg.rfind(path + ": ", 0), 0u) << msg;
 }
 
 }  // namespace

@@ -88,6 +88,72 @@ TEST(TraceCsv, RejectsMalformedLine) {
   std::filesystem::remove(path);
 }
 
+/// Write `content` to a temp CSV and return the load_csv error message
+/// (empty string when it unexpectedly loads).
+std::string csv_error(const std::string& content) {
+  const std::string path = "/tmp/zhuge_trace_diag.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+  }
+  std::string msg;
+  try {
+    (void)load_csv(path);
+  } catch (const std::runtime_error& e) {
+    msg = e.what();
+  }
+  std::filesystem::remove(path);
+  return msg;
+}
+
+TEST(TraceCsv, MalformedLineErrorNamesFileLineAndToken) {
+  const std::string msg = csv_error("0,1.0\ngarbage here\n2,3.0\n");
+  EXPECT_NE(msg.find("zhuge_trace_diag.csv:2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("garbage here"), std::string::npos) << msg;
+}
+
+TEST(TraceCsv, TrailingTokenRejectedWithDetail) {
+  const std::string msg = csv_error("0,1.0 extra\n");
+  EXPECT_NE(msg.find(":1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("trailing token \"extra\""), std::string::npos) << msg;
+}
+
+TEST(TraceCsv, NonFiniteValueRejected) {
+  const std::string msg = csv_error("0,1.0\n1,nan\n");
+  EXPECT_NE(msg.find(":2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("non-finite"), std::string::npos) << msg;
+}
+
+TEST(TraceCsv, NegativeRateRejected) {
+  const std::string msg = csv_error("0,-5\n");
+  EXPECT_NE(msg.find("negative rate"), std::string::npos) << msg;
+}
+
+TEST(TraceCsv, BackwardsTimeRejected) {
+  const std::string msg = csv_error("0,1.0\n100,2.0\n50,3.0\n");
+  EXPECT_NE(msg.find(":3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("backwards"), std::string::npos) << msg;
+}
+
+TEST(TraceCsv, LongOffendingLineIsTruncatedInMessage) {
+  const std::string msg = csv_error("0,1.0\n" + std::string(500, 'x') + "\n");
+  EXPECT_NE(msg.find("..."), std::string::npos) << msg;
+  EXPECT_LT(msg.size(), 250u);  // excerpt capped, not the whole line
+}
+
+TEST(TraceCsv, CommentsAndBlankLinesStillSkipped) {
+  const std::string path = "/tmp/zhuge_trace_ok.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# header\n\n0,1.0\n# mid comment\n100,2.0\n", f);
+    std::fclose(f);
+  }
+  const Trace t = load_csv(path);
+  EXPECT_EQ(t.samples().size(), 2u);
+  std::filesystem::remove(path);
+}
+
 TEST(Synthetic, DeterministicInSeed) {
   const Trace a = make_trace(TraceKind::kRestaurantWifi, 5, 10_s);
   const Trace b = make_trace(TraceKind::kRestaurantWifi, 5, 10_s);

@@ -257,6 +257,54 @@ TEST(CellularLink, BudgetDoesNotBankWhileIdle) {
   EXPECT_GT(burst_span, 0.05);
 }
 
+TEST(WifiLink, RetryAccountingIsDeterministic) {
+  // Same seed, same lossy channel: the retry/drop realization must be
+  // bit-identical run to run — chaos verdicts and regression baselines
+  // depend on it. Every offered packet is either delivered or counted as
+  // a retry drop; none vanish.
+  auto run_once = [](std::uint64_t seed) {
+    WifiLink::Config cfg;
+    cfg.mpdu_loss_prob = 0.4;
+    cfg.max_retries = 2;  // low enough that some packets actually die
+    WifiHarness h(20e6, cfg);
+    h.rng = sim::Rng(seed);
+    for (std::uint64_t i = 0; i < 300; ++i) h.link->offer(make_packet(1200, i));
+    h.sim.run_until(TimePoint::zero() + 60_s);
+    std::vector<std::uint64_t> uids;
+    uids.reserve(h.delivered.size());
+    for (const Packet& p : h.delivered) uids.push_back(p.uid);
+    return std::pair{uids, h.link->retry_drops()};
+  };
+  const auto [uids_a, drops_a] = run_once(3);
+  EXPECT_EQ(uids_a.size() + drops_a, 300u);  // conservation
+  EXPECT_GT(drops_a, 0u);                    // the fault path actually ran
+  EXPECT_EQ(run_once(3), (std::pair{uids_a, drops_a}));
+  EXPECT_NE(run_once(4).second, drops_a);
+}
+
+TEST(CellularLink, ResidualLossAccountingIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    sim::Rng rng(seed);
+    const auto tr = trace::constant_trace(8e6, 100_s);
+    Channel ch(&tr);
+    queue::DropTailFifo q(-1);
+    std::vector<std::uint64_t> uids;
+    CellularLink::Config cfg;
+    cfg.loss_prob = 0.3;
+    CellularLink link(sim, rng, ch, q, cfg,
+                      [&](Packet p) { uids.push_back(p.uid); });
+    for (std::uint64_t i = 0; i < 400; ++i) link.offer(make_packet(1000, i));
+    sim.run_until(TimePoint::zero() + 10_s);
+    return uids;
+  };
+  const auto uids = run_once(5);
+  EXPECT_GT(uids.size(), 200u);
+  EXPECT_LT(uids.size(), 350u);  // ~30% lost to residual air loss
+  EXPECT_EQ(run_once(5), uids);  // same seed, same surviving set
+  EXPECT_NE(run_once(6), uids);
+}
+
 TEST(CellularLink, ResidualLossDropsPackets) {
   Simulator sim;
   sim::Rng rng(1);

@@ -1,0 +1,95 @@
+// chaos_run — run the standard chaos suite and report recovery verdicts.
+//
+//   chaos_run [--seed N] [--case NAME]... [--list] [--no-invariants] [-v]
+//
+// Runs every case from app::standard_chaos_suite (or only the named ones)
+// with the runtime invariant checker enabled, prints one verdict line per
+// case, and exits non-zero when any case fails — the same judgment the CI
+// chaos job applies via tests/chaos_test.cpp, packaged for interactive
+// use and for sweeping seeds.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/chaos.hpp"
+#include "obs/invariants.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--seed N] [--case NAME]... [--list] [--no-invariants] [-v]\n"
+      "  --seed N         RNG seed for every case (default 1)\n"
+      "  --case NAME      run only this case (repeatable); default: all\n"
+      "  --list           print the case names and exit\n"
+      "  --no-invariants  leave the runtime invariant checker off\n"
+      "  -v               also print the invariant summary per failed case\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::vector<std::string> only;
+  bool list = false;
+  bool invariants_on = true;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--case" && i + 1 < argc) {
+      only.emplace_back(argv[++i]);
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--no-invariants") {
+      invariants_on = false;
+    } else if (arg == "-v") {
+      verbose = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const auto suite = zhuge::app::standard_chaos_suite(seed);
+  if (list) {
+    for (const auto& c : suite) std::printf("%s\n", c.name.c_str());
+    return 0;
+  }
+
+  zhuge::obs::set_invariants_enabled(invariants_on);
+
+  int ran = 0;
+  int failed = 0;
+  for (const auto& c : suite) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), c.name) == only.end()) {
+      continue;
+    }
+    zhuge::obs::invariants().clear();
+    const auto v = zhuge::app::run_chaos_case(c);
+    ++ran;
+    std::printf("%s\n", zhuge::app::format_verdict(v).c_str());
+    if (!v.passed) {
+      ++failed;
+      if (verbose) {
+        const std::string inv = zhuge::obs::invariants().summary();
+        if (!inv.empty()) std::printf("  %s\n", inv.c_str());
+      }
+    }
+  }
+
+  if (ran == 0) {
+    std::fprintf(stderr, "no matching case (try --list)\n");
+    return 2;
+  }
+  std::printf("%d/%d cases passed (seed %llu)\n", ran - failed, ran,
+              static_cast<unsigned long long>(seed));
+  return failed == 0 ? 0 : 1;
+}

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
       auto loaded = zhuge::obs::load_trace_file(argv[i]);
       events.insert(events.end(), loaded.begin(), loaded.end());
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s: %s\n", argv[i], e.what());
+      // load_trace_file already prefixes the path.
+      std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
   }
