@@ -1,0 +1,192 @@
+// Hot-path performance baseline (PR 3): events/sec through the simulator
+// core, Fortune Teller predictions/sec, ack-scheduler ops/sec, and the
+// windowed measurement primitives. Run in Release; the JSON output is the
+// perf trajectory future PRs compare against:
+//
+//   ./build/bench/perf_hotpath --benchmark_format=json > perf.json
+//
+// BENCH_pr3.json in the repository root records the before/after numbers
+// for the PR-3 optimization pass (see DESIGN.md "Performance").
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "core/ack_scheduler.hpp"
+#include "core/fortune_teller.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "stats/windowed.hpp"
+
+namespace {
+
+using namespace zhuge;
+using sim::Duration;
+using sim::TimePoint;
+
+// ---- simulator core ------------------------------------------------------
+
+/// Adversarial heap stress: 64 self-rescheduling timers with *mutually
+/// prime-ish periods*, so pop order is maximally unpredictable and every
+/// sift comparison is a coin-flip branch — the worst case for the event
+/// queue. Closures carry this + three words (32 bytes), which already
+/// exceeds libstdc++'s 16-byte std::function SBO, so the pre-PR event
+/// loop additionally paid one heap allocation per event.
+void BM_SimTimerEvents(benchmark::State& state) {
+  sim::Simulator simu;
+  struct Timer {
+    sim::Simulator* s;
+    std::uint64_t acc;
+    std::uint64_t step;
+    std::uint64_t period_ns;
+    void operator()() {
+      acc += step;
+      s->schedule_after(Duration::nanos(static_cast<std::int64_t>(period_ns)),
+                        Timer{*this});
+    }
+  };
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    simu.schedule_after(Duration::micros(static_cast<std::int64_t>(k)),
+                        Timer{&simu, k, k + 1, 100'000 + 1'000 * k});
+  }
+  for (auto _ : state) {
+    simu.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimTimerEvents);
+
+/// Headline simulator events/sec: packet-delivery events, the dominant
+/// event type of a real run. Every link hop schedules a callback that
+/// owns the in-flight Packet (~170 bytes including the header variant),
+/// so this measures the cost of moving packets through the event loop —
+/// pre-PR, one heap allocation plus a priority_queue copy per event.
+void BM_SimPacketEvents(benchmark::State& state) {
+  sim::Simulator simu;
+  struct Deliver {
+    sim::Simulator* s;
+    net::Packet p;
+    void operator()() {
+      p.delivered_time = s->now();
+      p.size_bytes += 1;
+      s->schedule_after(Duration::micros(120), Deliver{s, std::move(p)});
+    }
+  };
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    net::Packet p;
+    p.uid = k;
+    p.size_bytes = 1240;
+    p.header = net::RtpHeader{};
+    p.flow = net::FlowId{1, static_cast<std::uint32_t>(100 + k), 5000, 6000, 17};
+    simu.schedule_after(Duration::micros(static_cast<std::int64_t>(k)),
+                        Deliver{&simu, std::move(p)});
+  }
+  for (auto _ : state) {
+    simu.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimPacketEvents);
+
+/// Cancel/reschedule churn: the AckScheduler re-arms its release timer on
+/// every hold/retreat, cancelling the previous one. Exercises cancel cost
+/// and the event queue's tolerance of stale entries.
+void BM_SimCancelRescheduleChurn(benchmark::State& state) {
+  sim::Simulator simu;
+  sim::EventId timer = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (timer != 0) simu.cancel(timer);
+    timer = simu.schedule_after(Duration::micros(50), [&fired] { ++fired; });
+    if ((++i & 0xFF) == 0) {
+      simu.run_until(simu.now() + Duration::micros(10));
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimCancelRescheduleChurn);
+
+// ---- measurement primitives ---------------------------------------------
+
+/// The per-packet Fortune Teller path: one departure record plus one
+/// prediction (Fig. 6: qLong + qShort + tx), as every downlink arrival
+/// triggers at the AP.
+void BM_FortuneTellerPredict(benchmark::State& state) {
+  core::FortuneTeller ft;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ft.on_dequeue(1500, TimePoint{t}, false);
+    const auto pred =
+        ft.predict(TimePoint{t}, 25'000, TimePoint{t - 500'000});
+    benchmark::DoNotOptimize(pred.q_long);
+    t += 2'000'000;  // 2 ms between AMPDU bursts
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FortuneTellerPredict);
+
+/// WindowedMean record + max(): BBR's bandwidth filter calls max() on
+/// every delivery-rate sample. Pre-PR this rescanned the whole window.
+void BM_WindowedMeanRecordMax(benchmark::State& state) {
+  stats::WindowedMean wm(Duration::millis(400));
+  std::int64_t t = 0;
+  double v = 1e6;
+  for (auto _ : state) {
+    v = (v * 1.000037 > 4e6) ? 1e6 : v * 1.000037;  // wander, deterministic
+    wm.record(TimePoint{t}, v);
+    const auto m = wm.max(TimePoint{t});
+    benchmark::DoNotOptimize(m);
+    t += 1'000'000;  // 1 ms apart -> ~400 samples in window
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedMeanRecordMax);
+
+/// WindowedRate record + rate query: avg(txRate) on every dequeue.
+void BM_WindowedRateRecord(benchmark::State& state) {
+  stats::WindowedRate wr(Duration::millis(40));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    wr.record(TimePoint{t}, 1500);
+    const auto r = wr.rate_bps(TimePoint{t});
+    benchmark::DoNotOptimize(r);
+    t += 500'000;  // 0.5 ms
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedRateRecord);
+
+// ---- feedback updater ----------------------------------------------------
+
+/// Ack-scheduler ops/sec: hold (with its re-arm) plus the eventual timed
+/// release, measured over batches that drain through the simulator.
+void BM_AckSchedulerHoldRelease(benchmark::State& state) {
+  sim::Simulator simu;
+  std::uint64_t released = 0;
+  core::AckScheduler sched(simu, [&released](net::Packet) { ++released; });
+  net::Packet ack;
+  ack.size_bytes = 64;
+  net::TcpHeader h;
+  h.is_ack = true;
+  ack.header = h;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    net::Packet p = ack;
+    p.uid = i;
+    sched.hold(std::move(p), simu.now() + Duration::micros(100));
+    if ((++i & 0x3F) == 0) {
+      simu.run_until(simu.now() + Duration::millis(1));
+    }
+  }
+  sched.flush();
+  benchmark::DoNotOptimize(released);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AckSchedulerHoldRelease);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+#include "app/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/invariants.hpp"
+#include "obs/tracer.hpp"
+
+namespace zhuge::app {
+
+namespace {
+
+/// FNV-1a64 running hash over raw bit patterns. Doubles are hashed via
+/// bit_cast, not value conversion, so -0.0 vs 0.0 or NaN payload changes
+/// are detected — "bit-identical" means exactly that.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void dist(const stats::Distribution& d) {
+    u64(d.count());
+    for (const double v : d.samples()) f64(v);
+  }
+  void series(const stats::TimeSeries& s) {
+    u64(s.points().size());
+    for (const auto& p : s.points()) {
+      u64(static_cast<std::uint64_t>(p.t.count_ns()));
+      f64(p.value);
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t result_fingerprint(const ScenarioResult& r) {
+  Fnv f;
+  f.u64(r.flows.size());
+  for (const auto& flow : r.flows) {
+    f.dist(flow.network_rtt_ms);
+    f.dist(flow.downlink_owd_ms);
+    f.dist(flow.frame_delay_ms);
+    f.dist(flow.frame_rate_fps);
+    f.f64(flow.goodput_bps);
+    f.u64(flow.frames_sent);
+    f.u64(flow.frames_decoded);
+  }
+  f.series(r.rtt_series_ms);
+  f.series(r.rate_series_bps);
+  f.series(r.frame_delay_series_ms);
+  f.series(r.frame_rate_series_fps);
+  f.series(r.goodput_series_bps);
+  f.dist(r.sender_rtt_ms);
+  f.dist(r.prediction_error_ms);
+  f.u64(r.predicted_vs_real_ms.size());
+  for (const auto& [pred, real] : r.predicted_vs_real_ms) {
+    f.f64(pred);
+    f.f64(real);
+  }
+  f.u64(r.qdisc_drops);
+  f.u64(r.tcp_retransmissions);
+  f.u64(r.events_executed);
+  f.u64(r.robustness.degrades);
+  f.u64(r.robustness.reactivates);
+  f.u64(r.robustness.flushed_acks);
+  f.u64(r.robustness.optimizer_restarts);
+  f.u64(r.robustness.clock_jumps);
+  f.u64(r.fault_drops);
+  f.u64(r.fault_duplicated);
+  f.u64(r.fault_reordered);
+  f.u64(r.flushed_acks_at_end);
+  f.u64(r.stranded_acks);
+  f.u64(r.invariant_violations);
+  return f.h;
+}
+
+std::vector<SweepPoint> cross_seeds(const std::vector<SweepPoint>& scenarios,
+                                    const std::vector<std::uint64_t>& seeds) {
+  std::vector<SweepPoint> grid;
+  grid.reserve(scenarios.size() * seeds.size());
+  for (const auto& s : scenarios) {
+    for (const std::uint64_t seed : seeds) {
+      SweepPoint p = s;
+      p.name = s.name + "/s" + std::to_string(seed);
+      p.seed = seed;
+      grid.push_back(std::move(p));
+    }
+  }
+  return grid;
+}
+
+std::vector<SweepRun> run_sweep(std::vector<SweepPoint> grid,
+                                const SweepOptions& opts) {
+  std::vector<SweepRun> runs(grid.size());
+  if (grid.empty()) return runs;
+
+  // Freeze the process-global obs state for the duration of the sweep:
+  // the registries are shared and unsynchronized, and per-run metrics
+  // must not interleave anyway. Disabling all three switches also makes
+  // a serial sweep observe exactly what a parallel sweep observes (e.g.
+  // ScenarioResult::invariant_violations reads the global counter).
+  const bool metrics_was = obs::metrics_enabled();
+  const bool tracing_was = obs::tracing_enabled();
+  const bool invariants_was = obs::invariants_enabled();
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::set_invariants_enabled(false);
+
+  const auto run_one = [&grid, &runs](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepPoint& p = grid[i];
+    p.config.seed = p.seed;
+    SweepRun& out = runs[i];
+    out.name = p.name;
+    out.seed = p.seed;
+    out.result = run_scenario(p.config);
+    out.fingerprint = result_fingerprint(out.result);
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
+  const std::size_t n_workers =
+      std::min<std::size_t>(std::max(1u, opts.threads), grid.size());
+  if (n_workers <= 1) {
+    for (std::size_t i = 0; i < grid.size(); ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= grid.size()) return;
+          run_one(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  obs::set_metrics_enabled(metrics_was);
+  obs::set_tracing_enabled(tracing_was);
+  obs::set_invariants_enabled(invariants_was);
+  return runs;
+}
+
+void export_sweep_metrics(const std::vector<SweepRun>& runs,
+                          obs::Registry& registry) {
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+  for (const auto& run : runs) {
+    const std::string base = "sweep." + run.name + ".";
+    const auto& flow = run.result.primary();
+    registry.gauge(base + "rtt_p50_ms").set(flow.network_rtt_ms.quantile(0.50));
+    registry.gauge(base + "rtt_p99_ms").set(flow.network_rtt_ms.quantile(0.99));
+    registry.gauge(base + "frame_delay_p99_ms")
+        .set(flow.frame_delay_ms.quantile(0.99));
+    registry.gauge(base + "goodput_bps").set(flow.goodput_bps);
+    registry.gauge(base + "wall_seconds").set(run.wall_seconds);
+    registry.counter(base + "events").inc(run.result.events_executed);
+    registry.counter(base + "qdisc_drops").inc(run.result.qdisc_drops);
+    registry.counter(base + "invariant_violations")
+        .inc(run.result.invariant_violations);
+    total_events += run.result.events_executed;
+    total_wall += run.wall_seconds;
+  }
+  registry.counter("sweep.total.runs").inc(runs.size());
+  registry.counter("sweep.total.events").inc(total_events);
+  registry.gauge("sweep.total.wall_seconds").set(total_wall);
+}
+
+}  // namespace zhuge::app

@@ -12,6 +12,14 @@ class SeqUnwrapper {
  public:
   /// Unwrap the next observed value. Values within +-32768 of the previous
   /// observation are interpreted as the nearest representative.
+  ///
+  /// Tie-break, pinned: at a distance of exactly 0x8000 the two
+  /// interpretations are equidistant (fwd == bwd == 0x8000) and the
+  /// *forward* one wins — `fwd <= 0x8000` below, not `<`. Forward is the
+  /// right default for TWCC/RTP feedback: sequence numbers advance, so a
+  /// half-range jump is overwhelmingly a burst of losses ahead of us, not
+  /// a 32768-packet reordering. Changing this to backward would silently
+  /// shift every post-gap unwrapped value by 65536; net_test pins it.
   [[nodiscard]] std::int64_t unwrap(std::uint16_t seq) {
     if (!started_) {
       started_ = true;

@@ -1,49 +1,144 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace zhuge::sim {
 
-EventId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  states_.push_back(kPending);
-  ++pending_count_;
-  queue_.push(Event{t, id, std::move(fn)});
-  return id;
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
-EventId Simulator::schedule_after(Duration d, std::function<void()> fn) {
-  if (d < Duration::zero()) d = Duration::zero();
-  return schedule_at(now_ + d, std::move(fn));
+void Simulator::release_slot(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  ++n.generation;  // invalidate any EventId still pointing at this slot
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// ---- 4-ary heap ------------------------------------------------------------
+// Children of i are 4i+1..4i+4. Scheduling patterns make the two sides
+// asymmetric: a freshly pushed event usually has a *later* time than most
+// of the heap (timers re-arm into the future), so sift-up almost always
+// terminates after one comparison, while pop pays the full descent — which
+// the wider fan-out halves relative to a binary heap.
+
+void Simulator::heap_push(const QEntry& e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const QEntry* const h = heap_.data();
+  const QEntry e = h[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    // Straight-line min-of-4 for full sibling groups; the generic loop
+    // below is only the boundary case. (Kept explicit: a variable-trip
+    // inner loop here gets unrolled into slower code at -O3.)
+    if (n - first >= 4) {
+      if (earlier(h[first + 1], h[best])) best = first + 1;
+      if (earlier(h[first + 2], h[best])) best = first + 2;
+      if (earlier(h[first + 3], h[best])) best = first + 3;
+    } else {
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (earlier(h[c], h[best])) best = c;
+      }
+    }
+    if (!earlier(h[best], e)) break;
+    heap_[i] = h[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop_front() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (heap_.size() > 1) sift_down(0);
+}
+
+void Simulator::rebuild_heap() {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) >> 2; i != static_cast<std::size_t>(-1); --i) {
+    sift_down(i);
+  }
+}
+
+// ---- scheduling ------------------------------------------------------------
+
+EventId Simulator::enqueue(TimePoint t, std::uint32_t slot, Node& n) {
+  if (t < now_) t = now_;
+  n.seq = next_seq_++;
+  ++scheduled_;
+  ++pending_count_;
+  heap_push(QEntry{(n.seq << kSlotBits) | slot, t.count_ns()});
+  return make_id(n.generation, slot);
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  std::uint8_t& state = states_[id - 1];
-  if (state != kPending) return false;  // already fired or cancelled
-  state = kCancelled;
+  const std::uint32_t low = static_cast<std::uint32_t>(id);
+  if (low == 0) return false;
+  const std::uint32_t slot = low - 1;
+  if (slot >= pool_.size()) return false;
+  Node& n = pool_[slot];
+  if (n.seq == 0 || n.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;  // already fired, already cancelled, or recycled slot
+  }
+  n.seq = 0;       // the heap entry is now stale; discarded lazily on pop
+  n.fn.reset();    // drop the payload (e.g. a held Packet) eagerly
+  release_slot(slot);
   ++cancelled_count_;
   --pending_count_;
+  maybe_compact();
   return true;
 }
 
-bool Simulator::discard_if_cancelled(const Event& top) {
-  if (states_[top.id - 1] != kCancelled) return false;
-  queue_.pop();
-  return true;
+void Simulator::maybe_compact() {
+  // Cancel-heavy churn (the AckScheduler re-arms on every hold) leaves
+  // stale entries behind. Sweep them out when they outnumber live ones
+  // 4:1 so the heap stays O(pending) even over billion-event runs; the
+  // floor of 64 keeps tiny queues from compacting constantly.
+  if (heap_.size() <= 64 || heap_.size() <= 4 * pending_count_) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const QEntry& e) { return !live(e); }),
+              heap_.end());
+  rebuild_heap();
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    if (discard_if_cancelled(queue_.top())) continue;
-    Event ev = queue_.top();
-    queue_.pop();
-    states_[ev.id - 1] = kFired;
+  while (!heap_.empty()) {
+    const QEntry e = heap_.front();
+    heap_pop_front();
+    const std::uint32_t slot = static_cast<std::uint32_t>(e.seqslot & kSlotMask);
+    Node& n = pool_[slot];
+    if (n.seq != (e.seqslot >> kSlotBits)) continue;  // cancelled; stale
+    n.seq = 0;
     --pending_count_;
-    now_ = ev.t;
+    now_ = TimePoint{e.t_ns};
     ++executed_;
-    ev.fn();
+    // Run the callback in place: the pool is a deque, so nested
+    // schedule_at() growing it cannot move this node, and the slot is
+    // only released (and thus reusable) after the callback returns.
+    // operator() consumes the callable (invoke + destroy, one dispatch).
+    n.fn();
+    release_slot(slot);
     return true;
   }
   return false;
@@ -57,11 +152,10 @@ void Simulator::run() {
 
 void Simulator::run_until(TimePoint end) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past cancelled events without firing anything late.
-    while (!queue_.empty() && discard_if_cancelled(queue_.top())) {
-    }
-    if (queue_.empty() || queue_.top().t > end) break;
+  while (!stopped_) {
+    // Peek past stale (cancelled) entries without firing anything late.
+    while (!heap_.empty() && !live(heap_.front())) heap_pop_front();
+    if (heap_.empty() || heap_.front().t_ns > end.count_ns()) break;
     step();
   }
   if (now_ < end) now_ = end;

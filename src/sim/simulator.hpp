@@ -1,26 +1,48 @@
 #pragma once
 // Discrete-event simulation engine.
 //
-// A Simulator owns a priority queue of timestamped callbacks. Components
+// A Simulator owns a 4-ary min-heap of timestamped event entries. Components
 // schedule work with schedule_after()/schedule_at() and read the clock with
 // now(). Events at equal timestamps fire in scheduling order (stable), which
 // keeps runs deterministic.
+//
+// Hot-path design (PR 3): the engine allocates nothing per event in steady
+// state and its footprint is O(pending), not O(events ever scheduled).
+//
+//  * Callbacks live in pooled 256-byte nodes (sim::Callback's 224-byte
+//    inline buffer absorbs even Packet-owning closures); freed slots are
+//    recycled through a LIFO free list, so the pool grows to the peak
+//    concurrent-pending count and then stops.
+//  * The heap holds 16-byte POD entries {time, seq|slot} ordered by
+//    (time, seq) — seq is a monotone per-event serial that both breaks
+//    same-time ties FIFO and serves as the liveness check: an entry is
+//    stale iff its slot's node no longer carries the same seq. Cancel
+//    just kills the node (O(1)); stale heap entries are discarded lazily
+//    on pop and compacted wholesale when they outnumber live ones 4:1,
+//    so heavy cancel/reschedule churn (the AckScheduler re-arms on every
+//    hold) cannot grow the queue without bound.
+//  * Node generations validate EventIds, replacing the old states_ byte
+//    array that grew one byte per event *ever* scheduled — the memory
+//    leak this PR fixes. A billion-event run now stays O(pending).
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <deque>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace zhuge::sim {
 
-/// Handle for a scheduled event; used to cancel timers. Id 0 is never issued.
+/// Handle for a scheduled event; used to cancel timers. Id 0 is never
+/// issued. Encodes (node generation << 32 | slot + 1); a stale handle —
+/// fired, cancelled, or from a recycled slot — is recognized and rejected.
 using EventId = std::uint64_t;
 
 /// Deterministic discrete-event executor.
 ///
 /// Not thread-safe by design: a simulation is a single logical timeline.
+/// (Independent Simulators on separate threads are fine — see app/sweep.)
 class Simulator {
  public:
   Simulator() = default;
@@ -31,11 +53,24 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (clamped to now()).
-  /// Returns an id usable with cancel().
-  EventId schedule_at(TimePoint t, std::function<void()> fn);
+  /// Returns an id usable with cancel(). Accepts any void() callable;
+  /// captures up to Callback::kInlineSize bytes stay allocation-free,
+  /// and the callable is constructed directly in its pool node — no
+  /// intermediate type-erased moves on the hot path.
+  template <typename F>
+  EventId schedule_at(TimePoint t, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    Node& n = pool_[slot];
+    n.fn.emplace(std::forward<F>(fn));
+    return enqueue(t, slot, n);
+  }
 
   /// Schedule `fn` to run `d` after now(). Negative delays are clamped to 0.
-  EventId schedule_after(Duration d, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(Duration d, F&& fn) {
+    if (d < Duration::zero()) d = Duration::zero();
+    return schedule_at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled
   /// or unknown id is a harmless no-op. Returns true if the event was
@@ -57,43 +92,80 @@ class Simulator {
   /// Number of events executed so far (for tests and perf reporting).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   /// Number of events ever scheduled.
-  [[nodiscard]] std::uint64_t events_scheduled() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
   /// Number of events successfully cancelled.
   [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_count_; }
 
   /// Number of events currently pending. Exact: cancelled events are
-  /// excluded even while they still sit in the queue awaiting lazy discard.
+  /// excluded even while their heap entries await lazy discard.
   [[nodiscard]] std::size_t pending() const { return pending_count_; }
 
+  /// Footprint introspection for the bounded-memory regression tests:
+  /// node-pool size (== peak concurrent pending, never events-ever) and
+  /// heap length including not-yet-discarded stale entries (compaction
+  /// keeps this within 4x pending + a small floor).
+  [[nodiscard]] std::size_t pool_slots() const { return pool_.size(); }
+  [[nodiscard]] std::size_t queue_size() const { return heap_.size(); }
+
  private:
-  struct Event {
-    TimePoint t;
-    EventId id;
-    std::function<void()> fn;
+  /// Heap entry: POD, 16 bytes (4 per cache line), trivially movable —
+  /// sift operations touch no callback. `seqslot` packs the event's
+  /// monotone serial (high 40 bits) over its pool slot (low 24 bits):
+  /// the serial both orders same-time events FIFO and doubles as the
+  /// liveness token (matched against the node before firing). 40/24
+  /// bounds: ~1.1e12 events per run, ~16.7M concurrently pending.
+  struct QEntry {
+    std::uint64_t seqslot;
+    std::int64_t t_ns;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among same-time events
-    }
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  /// Min-ordering on (t, seq). The heap is 4-ary rather than binary:
+  /// event pop cost is dominated by data-dependent sift branches, and a
+  /// 4-ary layout halves the number of levels (log4 vs log2 of pending).
+  static bool earlier(const QEntry& a, const QEntry& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    return a.seqslot < b.seqslot;  // serial is in the high bits
+  }
+
+  /// Pooled event node, exactly 256 bytes. `seq == 0` marks the slot dead
+  /// (free, fired, or cancelled); `generation` increments on each reuse so
+  /// stale EventIds referencing the slot are rejected.
+  struct Node {
+    Callback fn;                 // 240
+    std::uint64_t seq = 0;       // 8: live serial, 0 = dead
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNilSlot;
   };
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
-  /// Lifecycle of every issued event id, indexed by id-1. One byte per
-  /// event ever scheduled: O(1) cancel/fire transitions and an exact
-  /// answer to "is this id still pending", which a tombstone set cannot
-  /// give without also tracking fired ids.
-  enum EventState : std::uint8_t { kPending = 0, kFired = 1, kCancelled = 2 };
+  static constexpr EventId make_id(std::uint32_t generation, std::uint32_t slot) {
+    return (static_cast<EventId>(generation) << 32) | (slot + 1);
+  }
 
-  [[nodiscard]] bool discard_if_cancelled(const Event& top);
+  std::uint32_t acquire_slot();
+  EventId enqueue(TimePoint t, std::uint32_t slot, Node& n);
+  void release_slot(std::uint32_t slot);
+  void heap_push(const QEntry& e);
+  void heap_pop_front();
+  void sift_down(std::size_t i);
+  void rebuild_heap();
+  void maybe_compact();
+
+  [[nodiscard]] bool live(const QEntry& e) const {
+    return pool_[e.seqslot & kSlotMask].seq == (e.seqslot >> kSlotBits);
+  }
 
   TimePoint now_;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;  // 0 reserved as the dead marker
+  std::uint64_t scheduled_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_count_ = 0;
   std::size_t pending_count_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint8_t> states_;
+  std::vector<QEntry> heap_;    // 4-ary min-heap on (t, seq)
+  std::deque<Node> pool_;       // address-stable: callbacks run in place
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace zhuge::sim

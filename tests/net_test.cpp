@@ -82,6 +82,32 @@ TEST(SeqUnwrapper, BackwardAcrossWrapBoundary) {
   EXPECT_EQ(u.unwrap(65533), 65533);  // late packet from before the wrap
 }
 
+TEST(SeqUnwrapper, HalfRangeJumpTieBreaksForward) {
+  // At a distance of exactly 0x8000 the forward and backward readings are
+  // equidistant; the unwrapper is documented to pick *forward* (a
+  // half-range jump is a loss burst, not a 32768-packet reordering).
+  // This pins the `fwd <= 0x8000` comparison in seq.hpp — flipping it to
+  // `<` would shift every post-gap value by 65536.
+  {
+    SeqUnwrapper u;
+    EXPECT_EQ(u.unwrap(0), 0);
+    EXPECT_EQ(u.unwrap(0x8000), 0x8000);  // forward, not -0x8000
+    EXPECT_EQ(u.unwrap(0), 0x10000);      // and again across the wrap
+  }
+  {
+    // One short of the tie still goes backward...
+    SeqUnwrapper u;
+    EXPECT_EQ(u.unwrap(0), 0);
+    EXPECT_EQ(u.unwrap(0x8001), -0x7FFF);
+  }
+  {
+    // ...and one past it (forward distance 0x7FFF) goes forward.
+    SeqUnwrapper u;
+    EXPECT_EQ(u.unwrap(2), 2);
+    EXPECT_EQ(u.unwrap(0x8001), 0x8001);
+  }
+}
+
 TEST(SeqUnwrapper, SurvivesManyWraps) {
   SeqUnwrapper u;
   std::int64_t expected = 0;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -198,6 +199,106 @@ TEST(Simulator, NegativeDelayClampsToNow) {
   sim.run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.now(), TimePoint::zero());
+}
+
+TEST(Simulator, FootprintBoundedUnderCancelFireChurn) {
+  // Regression test for the states_ leak: the seed engine kept one map
+  // entry per event *ever* scheduled, so long cancel/fire churn grew
+  // memory without bound. The pooled engine must recycle slots — after
+  // 200k events the node pool stays at the peak concurrent-pending count
+  // and the heap stays within the compaction bound.
+  Simulator sim;
+  constexpr int kRounds = 2'000;
+  constexpr int kBatch = 100;  // peak concurrent pending per round
+  std::uint64_t fired = 0;
+  std::vector<EventId> ids;
+  for (int r = 0; r < kRounds; ++r) {
+    ids.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      ids.push_back(
+          sim.schedule_after(Duration::micros(i + 1), [&] { ++fired; }));
+    }
+    for (int i = 0; i < kBatch; i += 2) EXPECT_TRUE(sim.cancel(ids[i]));
+    sim.run();
+  }
+  EXPECT_EQ(sim.events_scheduled(), kRounds * kBatch);
+  EXPECT_EQ(fired, kRounds * kBatch / 2);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_LE(sim.pool_slots(), static_cast<std::size_t>(kBatch));
+  EXPECT_LE(sim.queue_size(), 4 * sim.pending() + 64);
+}
+
+TEST(Simulator, QueueCompactsUnderCancelOnlyChurn) {
+  // Cancel without ever running: lazy discard never gets a chance, so
+  // compaction alone must keep the heap from accumulating stale entries.
+  Simulator sim;
+  for (int r = 0; r < 1'000; ++r) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(sim.schedule_after(Duration::millis(i + 1), [] {}));
+    }
+    for (const EventId id : ids) EXPECT_TRUE(sim.cancel(id));
+    EXPECT_LE(sim.queue_size(), 4 * sim.pending() + 64);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_LE(sim.pool_slots(), 64u);
+}
+
+TEST(Simulator, StaleIdFromRecycledSlotIsRejected) {
+  // After a slot is recycled, an old EventId that maps to it must not
+  // cancel the new occupant: generations disambiguate.
+  Simulator sim;
+  const EventId old_id = sim.schedule_after(1_ms, [] {});
+  ASSERT_TRUE(sim.cancel(old_id));
+  int fired = 0;
+  const EventId new_id = sim.schedule_after(1_ms, [&] { ++fired; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(sim.cancel(old_id));  // stale handle, same slot
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Callback, TypicalEventClosuresStayInline) {
+  // The whole point of the 224-byte buffer: a closure owning a ~170-byte
+  // packet payload plus a simulator pointer must not heap-allocate.
+  struct FakePacket {
+    unsigned char payload[168];
+  };
+  Simulator* sim = nullptr;
+  FakePacket pkt{};
+  auto closure = [sim, pkt] { (void)sim; };
+  EXPECT_TRUE(Callback::fits_inline<decltype(closure)>());
+
+  struct Oversized {
+    unsigned char blob[Callback::kInlineSize + 1];
+    void operator()() const {}
+  };
+  EXPECT_FALSE(Callback::fits_inline<Oversized>());
+}
+
+TEST(Callback, OversizedCallableStillRunsViaHeapFallback) {
+  struct Big {
+    unsigned char blob[512];
+    int* out;
+    void operator()() const { *out = static_cast<int>(blob[0]) + 1; }
+  };
+  static_assert(!Callback::fits_inline<Big>());
+  int result = 0;
+  Simulator sim;
+  sim.schedule_after(1_ms, Big{{}, &result});
+  sim.run();
+  EXPECT_EQ(result, 1);
+}
+
+TEST(Callback, MoveOnlyCaptureIsSupported) {
+  // std::function required copyable callables; Callback must not.
+  auto owned = std::make_unique<int>(41);
+  int result = 0;
+  Simulator sim;
+  sim.schedule_after(1_ms,
+                     [p = std::move(owned), &result] { result = *p + 1; });
+  sim.run();
+  EXPECT_EQ(result, 42);
 }
 
 TEST(Rng, DeterministicForSeed) {

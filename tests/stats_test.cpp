@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
 #include "sim/random.hpp"
 #include "stats/distribution.hpp"
 #include "stats/timeseries.hpp"
@@ -52,6 +57,118 @@ TEST(WindowedMean, MeanAndEviction) {
   EXPECT_DOUBLE_EQ(*m.mean(at(10)), 15.0);
   EXPECT_DOUBLE_EQ(*m.mean(at(45)), 20.0);  // first sample evicted
   EXPECT_FALSE(m.mean(at(100)).has_value());
+}
+
+TEST(WindowedMean, MaxMatchesBruteForceOverRandomizedChurn) {
+  // max() is answered from a monotonic deque; this drives a randomized
+  // record/evict sequence and checks it against a rescan of a shadow
+  // window at every step.
+  WindowedMean m(40_ms);
+  std::deque<std::pair<TimePoint, double>> shadow;
+  sim::Rng rng(99);
+  TimePoint t = TimePoint::zero();
+  for (int i = 0; i < 20'000; ++i) {
+    // Bursty arrivals: mostly sub-ms steps, occasional multi-window gaps
+    // that evict everything.
+    t += Duration::micros(rng.uniform_int(100) == 0
+                              ? 90'000
+                              : 1 + rng.uniform_int(900));
+    const double v = rng.uniform() * 1000.0 - 500.0;
+    m.record(t, v);
+    shadow.emplace_back(t, v);
+    while (!shadow.empty() && shadow.front().first < t - 40_ms) {
+      shadow.pop_front();
+    }
+    double brute = shadow.front().second;
+    for (const auto& [st, sv] : shadow) brute = std::max(brute, sv);
+    const auto got = m.max(t);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, brute) << "at step " << i;
+  }
+}
+
+TEST(WindowedMean, MaxActivatedLateRebuildsFromLiveWindow) {
+  // The max deque is lazily maintained; the first max() call — possibly
+  // long after recording started — must rebuild it from the samples
+  // still inside the window and stay consistent afterwards.
+  WindowedMean m(40_ms);
+  std::deque<std::pair<TimePoint, double>> shadow;
+  sim::Rng rng(5);
+  TimePoint t = TimePoint::zero();
+  const auto push = [&] {
+    t += Duration::micros(1 + rng.uniform_int(1500));
+    const double v = rng.uniform() * 100.0;
+    m.record(t, v);
+    shadow.emplace_back(t, v);
+    while (!shadow.empty() && shadow.front().first < t - 40_ms) {
+      shadow.pop_front();
+    }
+  };
+  const auto brute = [&] {
+    double best = shadow.front().second;
+    for (const auto& [st, sv] : shadow) best = std::max(best, sv);
+    return best;
+  };
+  for (int i = 0; i < 500; ++i) push();  // max() never called: lazy off
+  ASSERT_EQ(m.max(t), brute());          // first call rebuilds
+  for (int i = 0; i < 500; ++i) {        // stays consistent incrementally
+    push();
+    ASSERT_EQ(m.max(t), brute());
+  }
+}
+
+TEST(WindowedMean, LongRunMeanDoesNotDrift) {
+  // The running sum gains ~1 ulp of residue per record/evict pair; the
+  // periodic exact resummation must keep the reported mean within 1e-9
+  // (relative) of a brute-force recomputation even after millions of
+  // cycles with wildly mixed magnitudes.
+  WindowedMean m(40_ms);
+  std::deque<std::pair<TimePoint, double>> shadow;
+  sim::Rng rng(7);
+  TimePoint t = TimePoint::zero();
+  for (int i = 0; i < 2'000'000; ++i) {
+    t += Duration::micros(1 + rng.uniform_int(2000));
+    // Alternate huge and tiny magnitudes so naive accumulation sheds
+    // low-order bits as fast as possible.
+    const double v = (i % 2 == 0) ? rng.uniform() * 1e9 : rng.uniform() * 1e-3;
+    m.record(t, v);
+    shadow.emplace_back(t, v);
+    while (!shadow.empty() && shadow.front().first < t - 40_ms) {
+      shadow.pop_front();
+    }
+  }
+  double exact_sum = 0.0;
+  for (const auto& [st, sv] : shadow) exact_sum += sv;
+  const double exact_mean = exact_sum / static_cast<double>(shadow.size());
+  const auto got = m.mean(t);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(m.sample_count(), shadow.size());
+  EXPECT_NEAR(*got / exact_mean, 1.0, 1e-9);
+}
+
+TEST(WindowedRate, LongRunTotalsStayExact) {
+  // total_bytes_ is integer arithmetic — after a million record/evict
+  // cycles the reported rate must equal the brute-force rate exactly,
+  // not merely approximately.
+  WindowedRate r(40_ms);
+  std::deque<std::pair<TimePoint, std::int64_t>> shadow;
+  sim::Rng rng(11);
+  TimePoint t = TimePoint::zero();
+  for (int i = 0; i < 1'000'000; ++i) {
+    t += Duration::micros(1 + rng.uniform_int(500));
+    const auto bytes = static_cast<std::int64_t>(rng.uniform_int(1500));
+    r.record(t, bytes);
+    shadow.emplace_back(t, bytes);
+    while (!shadow.empty() && shadow.front().first < t - 40_ms) {
+      shadow.pop_front();
+    }
+  }
+  std::int64_t exact_total = 0;
+  for (const auto& [st, sb] : shadow) exact_total += sb;
+  const auto got = r.rate_bps(t);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(r.sample_count(), shadow.size());
+  EXPECT_EQ(*got, static_cast<double>(exact_total) * 8.0 / 0.040);
 }
 
 TEST(WindowedMax, TracksMaximumWithEviction) {
