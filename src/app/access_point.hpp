@@ -4,9 +4,9 @@
 // box the paper modifies — everything else (server, client) runs stock.
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 
 #include "baseline/abc_router.hpp"
 #include "baseline/fastack.hpp"
@@ -129,13 +129,12 @@ class AccessPoint {
   std::unique_ptr<wireless::WifiLink> wifi_link_;
   std::unique_ptr<wireless::CellularLink> cellular_link_;
 
-  std::unordered_map<net::FlowId, std::unique_ptr<core::ZhugeFlow>,
-                     net::FlowIdHash>
-      zhuge_flows_;
-  std::unordered_map<net::FlowId, std::unique_ptr<baseline::FastAck>,
-                     net::FlowIdHash>
-      fastack_flows_;
-  std::unordered_set<net::FlowId, net::FlowIdHash> rtc_flows_;
+  // Ordered maps: teardown/flush/restart walk these and emit packets, so
+  // iteration order is part of the simulated outcome and must not depend
+  // on a hash function (sweep bit-identity across platforms).
+  std::map<net::FlowId, std::unique_ptr<core::ZhugeFlow>> zhuge_flows_;
+  std::map<net::FlowId, std::unique_ptr<baseline::FastAck>> fastack_flows_;
+  std::set<net::FlowId> rtc_flows_;
   std::unique_ptr<baseline::AbcRouter> abc_router_;
   stats::WindowedRate abc_dequeue_rate_;
 

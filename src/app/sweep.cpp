@@ -119,6 +119,8 @@ std::vector<SweepRun> run_sweep(std::vector<SweepPoint> grid,
   obs::set_invariants_enabled(false);
 
   const auto run_one = [&grid, &runs](std::size_t i) {
+    // zlint-allow(banned-api): wall-clock measures host throughput only;
+    // wall_seconds is deliberately excluded from result fingerprints.
     const auto t0 = std::chrono::steady_clock::now();
     SweepPoint& p = grid[i];
     p.config.seed = p.seed;
@@ -128,6 +130,7 @@ std::vector<SweepRun> run_sweep(std::vector<SweepPoint> grid,
     out.result = run_scenario(p.config);
     out.fingerprint = result_fingerprint(out.result);
     out.wall_seconds =
+        // zlint-allow(banned-api): same wall-clock throughput probe as t0.
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
   };

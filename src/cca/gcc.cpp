@@ -10,6 +10,8 @@ namespace zhuge::cca {
 namespace {
 // Debug aid: set ZHUGE_GCC_TRACE=1 to stream controller state to stderr.
 bool trace_enabled() {
+  // zlint-allow(banned-api): read once, gates a stderr debug trace only;
+  // controller decisions and results never depend on it.
   static const bool on = std::getenv("ZHUGE_GCC_TRACE") != nullptr;
   return on;
 }

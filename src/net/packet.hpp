@@ -28,7 +28,10 @@ struct FlowId {
   std::uint16_t dst_port = 0;
   std::uint8_t proto = 0;  ///< 6 = TCP-like, 17 = UDP (RTP/RTCP/QUIC)
 
-  friend bool operator==(const FlowId&, const FlowId&) = default;
+  /// Ordered + equality-comparable: per-flow tables are std::map keyed on
+  /// FlowId so that iteration order is the 5-tuple order, never a hash
+  /// function's — one of the determinism guarantees zlint enforces.
+  friend auto operator<=>(const FlowId&, const FlowId&) = default;
 
   /// The reverse direction of this flow (feedback path).
   [[nodiscard]] FlowId reversed() const {
@@ -36,6 +39,8 @@ struct FlowId {
   }
 };
 
+/// Hash for callers that key *non-result-affecting* lookup tables by flow
+/// (result-affecting layers use ordered std::map — see above).
 struct FlowIdHash {
   std::size_t operator()(const FlowId& f) const {
     std::uint64_t h = f.src_ip;

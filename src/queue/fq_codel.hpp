@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <deque>
 #include <list>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "queue/codel.hpp"
@@ -185,7 +185,9 @@ class FqCoDel : public Qdisc {
   }
 
   Config cfg_;
-  std::unordered_map<FlowId, SubQueue, net::FlowIdHash> queues_;
+  // Ordered by flow id so per-flow state walks are hash-independent (DRR
+  // service order itself lives in new_flows_/old_flows_, not here).
+  std::map<FlowId, SubQueue> queues_;
   std::deque<SubQueue*> new_flows_;
   std::deque<SubQueue*> old_flows_;
   std::int64_t total_bytes_ = 0;

@@ -79,17 +79,16 @@ void RtpSender::send_packet(Packet p, Duration offset) {
   twcc_history_[twcc_sent_unwrapped_] = {departure, p.size_bytes};
 
   rtp_history_[rtp_unwrapped] = p;  // copy for possible retransmission
-  rtp_history_order_.push_back(rtp_unwrapped);
-  while (rtp_history_order_.size() > cfg_.history_packets) {
-    rtp_history_.erase(rtp_history_order_.front());
-    rtp_history_order_.pop_front();
+  // Keys are monotone, so the oldest entries are the ordered prefix.
+  while (rtp_history_.size() > cfg_.history_packets) {
+    rtp_history_.erase(rtp_history_.begin());
   }
-  // Bound the TWCC history alongside.
+  // Bound the TWCC history alongside: drop everything older than the
+  // retained window (keys are monotone, so this is an ordered prefix).
   if (twcc_history_.size() > 4 * cfg_.history_packets) {
     const std::int64_t cutoff =
         twcc_sent_unwrapped_ - static_cast<std::int64_t>(2 * cfg_.history_packets);
-    std::erase_if(twcc_history_,
-                  [cutoff](const auto& kv) { return kv.first < cutoff; });
+    twcc_history_.erase(twcc_history_.begin(), twcc_history_.lower_bound(cutoff));
   }
 
   ++packets_sent_;

@@ -6,9 +6,8 @@
 // TWCC reports into GCC (or NADA).
 
 #include <cstdint>
-#include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "cca/gcc.hpp"
 #include "cca/nada.hpp"
@@ -99,14 +98,14 @@ class RtpSender {
     TimePoint send_time;
     std::uint32_t size_bytes = 0;
   };
-  /// TWCC send history keyed by *unwrapped* TWCC sequence.
-  std::unordered_map<std::int64_t, SendRecord> twcc_history_;
+  /// TWCC send history keyed by *unwrapped* TWCC sequence. Ordered so the
+  /// age-based prune is a cheap erase-prefix and no hash order leaks in.
+  std::map<std::int64_t, SendRecord> twcc_history_;
   net::SeqUnwrapper twcc_unwrap_rx_;  ///< unwraps seqs in feedback
   std::int64_t twcc_sent_unwrapped_ = -1;
 
   /// Packet history for NACK retransmission, keyed by unwrapped RTP seq.
-  std::unordered_map<std::int64_t, Packet> rtp_history_;
-  std::deque<std::int64_t> rtp_history_order_;
+  std::map<std::int64_t, Packet> rtp_history_;
   net::SeqUnwrapper rtp_unwrap_rx_;
   std::int64_t rtp_sent_unwrapped_ = -1;
 

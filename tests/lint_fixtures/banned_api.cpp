@@ -1,0 +1,31 @@
+// Fixture: every banned-API rule target must trip exactly where noted.
+// Analyzed by lint_test.cpp under a pretend src/ path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int use_all() {
+  std::srand(42);                                        // srand
+  int a = std::rand();                                   // rand()
+  std::random_device rd;                                 // random_device
+  auto t1 = std::chrono::system_clock::now();            // system_clock
+  auto t2 = std::chrono::steady_clock::now();            // steady_clock
+  auto t3 = std::chrono::high_resolution_clock::now();   // high_resolution_clock
+  std::time_t t = time(nullptr);                         // time()
+  const char* home = std::getenv("HOME");                // getenv
+  (void)rd;
+  (void)t1;
+  (void)t2;
+  (void)t3;
+  return a + static_cast<int>(t) + (home != nullptr);
+}
+
+struct Clock {
+  int time_ = 0;
+  int time() const { return time_; }  // member named time: must NOT trip
+};
+
+int member_call(const Clock& c) {
+  return c.time();  // member access: must NOT trip
+}

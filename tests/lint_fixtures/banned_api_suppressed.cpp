@@ -1,0 +1,14 @@
+// Fixture: the same banned calls as banned_api.cpp, every one silenced by
+// a suppression comment (same-line and own-line forms both exercised).
+#include <cstdlib>
+#include <ctime>
+
+int use_suppressed() {
+  std::srand(42);  // zlint-allow(banned-api): fixture exercises same-line form
+  // zlint-allow(banned-api): fixture exercises own-line form
+  int a = std::rand();
+  // zlint-allow(banned-api, determinism-hazard): multi-rule list form
+  std::time_t t = time(nullptr);
+  const char* home = std::getenv("X");  // zlint-allow(banned-api): reason here
+  return a + static_cast<int>(t) + (home != nullptr);
+}

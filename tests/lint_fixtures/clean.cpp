@@ -1,0 +1,22 @@
+// Fixture: idiomatic, rule-abiding code — zlint must stay silent on this
+// file under any src/ layer path.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/random.hpp"
+
+struct Table {
+  std::map<std::uint64_t, double> values_;
+
+  double total() const {
+    double s = 0.0;
+    for (const auto& [k, v] : values_) s += v;
+    return s;
+  }
+
+  bool close(double a, double b) const {
+    const double diff = a - b;
+    return (diff < 0 ? -diff : diff) < 1e-9;
+  }
+};

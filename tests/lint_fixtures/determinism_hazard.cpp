@@ -1,0 +1,26 @@
+// Fixture: iteration over unordered containers must trip in
+// result-affecting layers; lookups must not.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Flows {
+  std::unordered_map<std::uint64_t, double> table_;
+  std::unordered_set<std::uint64_t> members_;
+
+  double sum_by_iteration() const {
+    double s = 0.0;
+    for (const auto& [k, v] : table_) {  // range-for: must trip
+      s += v;
+    }
+    for (auto it = members_.begin(); it != members_.end(); ++it) {  // must trip
+      s += static_cast<double>(*it);
+    }
+    return s;
+  }
+
+  double lookup(std::uint64_t k) const {
+    const auto it = table_.find(k);  // point lookup: must NOT trip
+    return it == table_.end() ? 0.0 : it->second;
+  }
+};

@@ -1,0 +1,16 @@
+// Fixture: unordered iteration silenced by suppression comments.
+#include <cstdint>
+#include <unordered_map>
+
+struct Flows {
+  std::unordered_map<std::uint64_t, double> table_;
+
+  double sum() const {
+    double s = 0.0;
+    // zlint-allow(determinism-hazard): sum is order-independent
+    for (const auto& [k, v] : table_) {
+      s += v;
+    }
+    return s;
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: exact floating-point comparison must trip; integer and
+// pointer comparisons must not.
+bool checks(double measured, int count, const double* maybe) {
+  double target = 0.5;
+  float scale = 2.0f;
+  bool a = measured == target;   // declared-double vs declared-double: trips
+  bool b = measured != 0.25;     // float literal operand: trips
+  bool c = scale == 1.0f;        // float variable and literal: trips
+  bool d = count == 3;           // integers: must NOT trip
+  bool e = maybe != nullptr;     // pointer vs nullptr: must NOT trip
+  return a || b || c || d || e;
+}

@@ -1,0 +1,5 @@
+// Fixture: float equality silenced by a suppression comment.
+bool exact_sentinel(double v) {
+  // zlint-allow(float-equality): -1.0 is an exact sentinel, never computed
+  return v == -1.0;
+}

@@ -1,0 +1,12 @@
+// Fixture: analyzed as src/queue/layering_backedge.cpp — the quoted
+// includes below are never compiled, only lexed by zlint.
+#include <cstdint>
+
+#include "sim/time.hpp"        // downward edge: allowed for queue
+#include "net/packet.hpp"      // downward edge: allowed for queue
+#include "queue/qdisc.hpp"     // own layer: allowed
+#include "core/zhuge.hpp"      // back-edge queue -> core: must trip
+#include "app/scenario.hpp"    // upward skip into app: must trip
+#include "tests/helpers.hpp"   // library may not include tests/: must trip
+
+int unused() { return 0; }

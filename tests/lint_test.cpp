@@ -1,0 +1,180 @@
+// zlint rule-engine tests: every rule must trip on its known-bad fixture,
+// suppression comments must silence it, and the layering DAG must reject
+// back-edges. Fixtures live in tests/lint_fixtures/ and are analyzed
+// in-process under pretend src/ paths (they are never compiled).
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zlint.hpp"
+
+namespace {
+
+using zlint::Diagnostic;
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(ZLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Diagnostic> lint_as(const std::string& rel_path,
+                                const std::string& fixture_name) {
+  return zlint::analyze_source(rel_path, fixture(fixture_name));
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diags,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+bool any_message_contains(const std::vector<Diagnostic>& diags,
+                          std::string_view needle) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.message.find(needle) != std::string::npos;
+  });
+}
+
+TEST(ZlintMeta, FourRules) {
+  const auto& names = zlint::rule_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "banned-api"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "determinism-hazard"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "float-equality"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "include-layering"),
+            names.end());
+}
+
+TEST(ZlintBannedApi, EveryBannedSymbolTrips) {
+  const auto diags = lint_as("src/core/banned_api.cpp", "banned_api.cpp");
+  for (const char* sym :
+       {"srand", "'rand()'", "random_device", "system_clock", "steady_clock",
+        "high_resolution_clock", "'time()'", "getenv"}) {
+    EXPECT_TRUE(any_message_contains(diags, sym)) << "no diagnostic for " << sym;
+  }
+  // One per banned use: nothing extra from the member function named
+  // time() or its call through an object.
+  EXPECT_EQ(count_rule(diags, "banned-api"), 8u);
+}
+
+TEST(ZlintBannedApi, SuppressionsSilence) {
+  const auto diags =
+      lint_as("src/core/banned_api.cpp", "banned_api_suppressed.cpp");
+  EXPECT_EQ(count_rule(diags, "banned-api"), 0u);
+}
+
+TEST(ZlintBannedApi, ToolsAndTestsExempt) {
+  EXPECT_EQ(count_rule(lint_as("tools/probe.cpp", "banned_api.cpp"),
+                       "banned-api"),
+            0u);
+  EXPECT_EQ(count_rule(lint_as("tests/probe_test.cpp", "banned_api.cpp"),
+                       "banned-api"),
+            0u);
+  EXPECT_EQ(count_rule(lint_as("bench/fig99.cpp", "banned_api.cpp"),
+                       "banned-api"),
+            0u);
+}
+
+TEST(ZlintDeterminism, IterationTrips) {
+  const auto diags =
+      lint_as("src/app/determinism.cpp", "determinism_hazard.cpp");
+  // Range-for over the unordered_map and the iterator walk over the
+  // unordered_set; the point lookup stays silent.
+  EXPECT_EQ(count_rule(diags, "determinism-hazard"), 2u);
+  EXPECT_TRUE(any_message_contains(diags, "range-for"));
+  EXPECT_TRUE(any_message_contains(diags, "iterator walk"));
+}
+
+TEST(ZlintDeterminism, SuppressionSilences) {
+  const auto diags = lint_as("src/app/determinism.cpp",
+                             "determinism_hazard_suppressed.cpp");
+  EXPECT_EQ(count_rule(diags, "determinism-hazard"), 0u);
+}
+
+TEST(ZlintDeterminism, ObsLayerExempt) {
+  // obs is presentation-only; its exporters may iterate however they like.
+  const auto diags =
+      lint_as("src/obs/determinism.cpp", "determinism_hazard.cpp");
+  EXPECT_EQ(count_rule(diags, "determinism-hazard"), 0u);
+}
+
+TEST(ZlintFloatEquality, ExactComparisonsTrip) {
+  const auto diags = lint_as("src/stats/float_eq.cpp", "float_equality.cpp");
+  // Three floating comparisons; int and pointer comparisons stay silent.
+  EXPECT_EQ(count_rule(diags, "float-equality"), 3u);
+}
+
+TEST(ZlintFloatEquality, SuppressionSilences) {
+  const auto diags =
+      lint_as("src/stats/float_eq.cpp", "float_equality_suppressed.cpp");
+  EXPECT_EQ(count_rule(diags, "float-equality"), 0u);
+}
+
+TEST(ZlintLayering, BackEdgesTrip) {
+  const auto diags =
+      lint_as("src/queue/layering_backedge.cpp", "layering_backedge.cpp");
+  ASSERT_EQ(count_rule(diags, "include-layering"), 3u);
+  EXPECT_TRUE(any_message_contains(diags, "core/zhuge.hpp"));
+  EXPECT_TRUE(any_message_contains(diags, "app/scenario.hpp"));
+  EXPECT_TRUE(any_message_contains(diags, "tests/"));
+}
+
+TEST(ZlintLayering, BinariesMayIncludeAnyLayer) {
+  // The same includes are all legal from tools/ and bench/ (except the
+  // tests/ include, which stays forbidden everywhere).
+  const auto diags =
+      lint_as("tools/layering_backedge.cpp", "layering_backedge.cpp");
+  EXPECT_EQ(count_rule(diags, "include-layering"), 1u);
+  EXPECT_TRUE(any_message_contains(diags, "tests/"));
+}
+
+TEST(ZlintLayering, DagSpotChecks) {
+  // Downward edges.
+  EXPECT_TRUE(zlint::layer_edge_allowed("app", "core"));
+  EXPECT_TRUE(zlint::layer_edge_allowed("core", "queue"));
+  EXPECT_TRUE(zlint::layer_edge_allowed("transport", "cca"));
+  EXPECT_TRUE(zlint::layer_edge_allowed("queue", "obs"));
+  EXPECT_TRUE(zlint::layer_edge_allowed("wireless", "trace"));
+  // Own layer.
+  EXPECT_TRUE(zlint::layer_edge_allowed("sim", "sim"));
+  // Back-edges / upward skips.
+  EXPECT_FALSE(zlint::layer_edge_allowed("core", "app"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("sim", "net"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("obs", "queue"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("queue", "core"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("cca", "transport"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("net", "queue"));
+  // Binaries sit above everything; nothing may reach into them.
+  EXPECT_TRUE(zlint::layer_edge_allowed("tools", "app"));
+  EXPECT_TRUE(zlint::layer_edge_allowed("tests", "app"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("app", "tools"));
+  EXPECT_FALSE(zlint::layer_edge_allowed("tools", "tests"));
+}
+
+TEST(ZlintClean, CleanFileIsSilent) {
+  for (const char* path :
+       {"src/app/clean.cpp", "src/sim/clean.cpp", "src/queue/clean.cpp"}) {
+    const auto diags = lint_as(path, "clean.cpp");
+    EXPECT_TRUE(diags.empty())
+        << path << ": " << (diags.empty() ? "" : zlint::to_string(diags[0]));
+  }
+}
+
+TEST(ZlintFormat, DiagnosticToString) {
+  const Diagnostic d{"src/app/x.cpp", 12, "banned-api", "msg"};
+  EXPECT_EQ(zlint::to_string(d), "src/app/x.cpp:12: banned-api: msg");
+}
+
+}  // namespace

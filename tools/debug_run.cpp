@@ -1,0 +1,390 @@
+// Internal debug drivers used while developing and calibrating the
+// reproduction, consolidated behind one dispatcher so tools/ exposes a
+// single entry point (and the include-layering lint has one binary to
+// whitelist). Not a supported API; output formats drift freely.
+//
+//   debug_run <case> [case args...]
+//   debug_run --list
+//
+// Each case was previously its own debug_* binary; invocation is
+// unchanged apart from the leading case name.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "app/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace zhuge;
+using sim::Duration;
+using sim::TimePoint;
+
+namespace {
+
+// --- scenario: rate/rtt series + headline row for one scenario ------------
+//   debug_run scenario [zhuge] [tcp] [secs]
+int run_scenario_case(int argc, char** argv) {
+  const bool with_zhuge = argc > 0 && std::string_view(argv[0]) == "zhuge";
+  const bool tcp = argc > 1 && std::string_view(argv[1]) == "tcp";
+  const int secs = argc > 2 ? std::atoi(argv[2]) : 120;
+  const trace::Trace tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 7,
+                                            Duration::seconds(secs));
+  app::ScenarioConfig cfg;
+  cfg.protocol = tcp ? app::Protocol::kTcp : app::Protocol::kRtp;
+  cfg.tcp_cca = app::TcpCcaKind::kCopa;
+  cfg.ap.mode = with_zhuge ? app::ApMode::kZhuge : app::ApMode::kNone;
+  cfg.channel_trace = &tr;
+  cfg.duration = Duration::seconds(secs);
+  cfg.seed = 42;
+  auto r = app::run_scenario(cfg);
+  // Join rate and rtt series on time grid
+  std::printf("# time rate_mbps rtt_ms\n");
+  const auto& rs = r.rate_series_bps.points();
+  const auto& ts = r.rtt_series_ms.points();
+  size_t j = 0;
+  for (size_t i = 0; i < rs.size(); i += 10) {
+    while (j + 1 < ts.size() && ts[j + 1].t <= rs[i].t) ++j;
+    std::printf("S %.1f %.2f %.0f\n", rs[i].t.to_seconds(), rs[i].value / 1e6,
+                j < ts.size() ? ts[j].value : 0.0);
+  }
+  std::printf(
+      "drops %llu pred_err_mean %.1f p99rtt %.0f ratio200 %.3f fd400 %.3f goodput %.2f\n",
+      (unsigned long long)r.qdisc_drops, r.prediction_error_ms.mean(),
+      r.primary().network_rtt_ms.quantile(0.99),
+      r.primary().network_rtt_ms.ratio_above(200),
+      r.primary().frame_delay_ms.ratio_above(400),
+      r.primary().goodput_bps / 1e6);
+  return 0;
+}
+
+// --- drop: step-drop probe reporting through the obs metrics registry ----
+//   debug_run drop [none|zhuge|fastack|abc] [tcp] [k] [metrics_out.json]
+int run_drop(int argc, char** argv) {
+  const std::string mode = argc > 0 ? argv[0] : "none";
+  const bool tcp = argc > 1 && std::string_view(argv[1]) == "tcp";
+  const double k = argc > 2 ? std::atof(argv[2]) : 10.0;
+  obs::set_metrics_enabled(true);
+
+  // 30 Mbps for 20 s (converge), drop to 30/k for 20 s.
+  const auto drop_at = Duration::seconds(20);
+  const auto tr = trace::step_trace(30e6, 30e6 / k, drop_at, Duration::seconds(40));
+  app::ScenarioConfig cfg;
+  cfg.protocol = tcp ? app::Protocol::kTcp : app::Protocol::kRtp;
+  cfg.tcp_cca = mode == "abc" ? app::TcpCcaKind::kAbc : app::TcpCcaKind::kCopa;
+  cfg.ap.mode = mode == "zhuge"     ? app::ApMode::kZhuge
+                : mode == "fastack" ? app::ApMode::kFastAck
+                : mode == "abc"     ? app::ApMode::kAbc
+                                    : app::ApMode::kNone;
+  cfg.channel_trace = &tr;
+  cfg.duration = Duration::seconds(40);
+  cfg.seed = 3;
+  auto r = app::run_scenario(cfg);
+
+  const auto t0 = TimePoint::zero() + drop_at;
+  const auto t1 = TimePoint::zero() + Duration::seconds(40);
+  const double rtt_dur = r.rtt_series_ms.time_above(200.0, t0, t1).to_seconds();
+  const double fd_dur = r.frame_delay_series_ms.time_above(400.0, t0, t1).to_seconds();
+
+  // Everything below comes out of the obs registry / series helpers.
+  auto& reg = obs::metrics();
+  const auto& rtt_hist = reg.histogram("app.rtt_ms");
+  std::printf(
+      "%-8s %s k=%4.0f  rtt>200ms %6.2f s   fd>400ms %6.2f s  p99 %5.0f  goodput %.2f\n",
+      mode.c_str(), tcp ? "tcp" : "rtp", k, rtt_dur, fd_dur,
+      rtt_hist.quantile(0.99), reg.gauge("app.flow0.goodput_bps").value() / 1e6);
+  std::printf(
+      "  post-drop avg: rtt %.0f ms (time-weighted), rate %.2f Mbps; "
+      "queue drops %llu, pred |err| p95 %.1f ms\n",
+      r.rtt_series_ms.time_weighted_mean(t0, t1),
+      r.rate_series_bps.time_weighted_mean(t0, t1) / 1e6,
+      (unsigned long long)reg.gauge("ap.qdisc_drops").value(),
+      reg.histogram("fortune.abs_error_ms").quantile(0.95));
+
+  if (argc > 3 && !obs::write_metrics_file(reg, argv[3])) {
+    std::fprintf(stderr, "failed to write %s\n", argv[3]);
+    return 1;
+  }
+  return 0;
+}
+
+// --- drop2: step-drop time series / 8-bulk-flow contention ---------------
+//   debug_run drop2 [none|zhuge|bulk]
+int run_drop2(int argc, char** argv) {
+  std::string mode = argc > 0 ? argv[0] : "none";
+  if (mode == "bulk") {
+    const auto tr = trace::constant_trace(20e6, Duration::seconds(20));
+    app::ScenarioConfig cfg;
+    cfg.channel_trace = &tr;
+    cfg.duration = Duration::seconds(20);
+    cfg.warmup = Duration::seconds(3);
+    cfg.seed = 5;
+    cfg.competing_bulk_flows = 8;
+    auto r = app::run_scenario(cfg);
+    std::printf("rtc goodput %.2f p90 %.1f p99 %.1f drops %llu\n",
+                r.primary().goodput_bps / 1e6,
+                r.primary().network_rtt_ms.quantile(.9),
+                r.primary().network_rtt_ms.quantile(.99),
+                (unsigned long long)r.qdisc_drops);
+    return 0;
+  }
+  const auto tr = trace::step_trace(30e6, 3e6, Duration::seconds(20), Duration::seconds(40));
+  app::ScenarioConfig cfg;
+  cfg.channel_trace = &tr;
+  cfg.duration = Duration::seconds(40);
+  cfg.warmup = Duration::seconds(3);
+  cfg.seed = 3;
+  cfg.video.max_bitrate_bps = 40e6;
+  cfg.ap.mode = mode == "zhuge" ? app::ApMode::kZhuge : app::ApMode::kNone;
+  auto r = app::run_scenario(cfg);
+  const auto& rs = r.rate_series_bps.points();
+  const auto& ts = r.rtt_series_ms.points();
+  size_t j = 0;
+  for (size_t i = 0; i < rs.size(); i += 10) {
+    double t = rs[i].t.to_seconds();
+    if (t < 19.5 || t > 33) continue;
+    while (j + 1 < ts.size() && ts[j + 1].t <= rs[i].t) ++j;
+    std::printf("%.1f rate=%.2f rtt=%.0f\n", t, rs[i].value / 1e6,
+                j < ts.size() ? ts[j].value : 0);
+  }
+  std::printf("deg %.2f s drops %llu\n",
+              r.rtt_series_ms
+                  .time_above(200.0, TimePoint::zero() + Duration::seconds(20),
+                              TimePoint::zero() + Duration::seconds(40))
+                  .to_seconds(),
+              (unsigned long long)r.qdisc_drops);
+  return 0;
+}
+
+// --- tcp: frame-delay / rtt / fps summary for a constant-rate TCP run ----
+//   debug_run tcp
+int run_tcp(int, char**) {
+  const auto tr = trace::constant_trace(30e6, Duration::seconds(40));
+  app::ScenarioConfig cfg;
+  cfg.protocol = app::Protocol::kTcp;
+  cfg.channel_trace = &tr;
+  cfg.duration = Duration::seconds(40);
+  cfg.seed = 3;
+  auto r = app::run_scenario(cfg);
+  const auto& f = r.primary();
+  std::printf("frames sent(decoded)=%llu fd p50=%.0f p90=%.0f p99=%.0f fd>400=%.3f\n",
+              (unsigned long long)f.frames_decoded, f.frame_delay_ms.quantile(.5),
+              f.frame_delay_ms.quantile(.9), f.frame_delay_ms.quantile(.99),
+              f.frame_delay_ms.ratio_above(400));
+  std::printf("rtt p50=%.0f p99=%.0f  goodput=%.2f sender_rtt p50=%.0f\n",
+              f.network_rtt_ms.quantile(.5), f.network_rtt_ms.quantile(.99),
+              f.goodput_bps / 1e6, r.sender_rtt_ms.quantile(.5));
+  // fps distribution
+  std::printf("fps p10=%.0f p50=%.0f\n", f.frame_rate_fps.quantile(.1),
+              f.frame_rate_fps.quantile(.5));
+  return 0;
+}
+
+// --- seeds: zhuge-vs-none headline grid over wifi trace seeds ------------
+//   debug_run seeds [tcp]
+int run_seeds(int argc, char** argv) {
+  const bool tcp = argc > 0 && std::string_view(argv[0]) == "tcp";
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (int z = 0; z < 2; ++z) {
+      const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi,
+                                        seed * 13, Duration::seconds(150));
+      app::ScenarioConfig cfg;
+      cfg.protocol = tcp ? app::Protocol::kTcp : app::Protocol::kRtp;
+      cfg.ap.mode = z ? app::ApMode::kZhuge : app::ApMode::kNone;
+      cfg.channel_trace = &tr;
+      cfg.duration = Duration::seconds(150);
+      cfg.seed = seed;
+      auto r = app::run_scenario(cfg);
+      std::printf(
+          "seed %llu %-6s ratio200=%.4f fd400=%.4f p99=%.0f goodput=%.2f down200=%.4f retx=%llu\n",
+          (unsigned long long)seed, z ? "zhuge" : "none",
+          r.primary().network_rtt_ms.ratio_above(200),
+          r.primary().frame_delay_ms.ratio_above(400),
+          r.primary().network_rtt_ms.quantile(.99),
+          r.primary().goodput_bps / 1e6,
+          r.primary().downlink_owd_ms.ratio_above(150),
+          (unsigned long long)r.tcp_retransmissions);
+    }
+  }
+  return 0;
+}
+
+// --- spike: locate the worst RTT event via the obs tracer ----------------
+//   debug_run spike [trace_out.json]
+int run_spike(int argc, char** argv) {
+  obs::set_tracing_enabled(true);
+
+  const auto tr = trace::make_trace(trace::TraceKind::kRestaurantWifi, 26,
+                                    Duration::seconds(150));
+  app::ScenarioConfig cfg;
+  cfg.protocol = app::Protocol::kTcp;
+  cfg.ap.mode = app::ApMode::kNone;
+  cfg.channel_trace = &tr;
+  cfg.duration = Duration::seconds(150);
+  cfg.seed = 2;
+  // The spike is mined from the tracer, not the returned result.
+  (void)app::run_scenario(cfg);
+
+  // Locate the worst "app"/"rtt" event.
+  double worst_ms = 0.0;
+  double worst_t_s = 0.0;
+  obs::tracer().for_each([&](const obs::TraceEvent& e) {
+    if (std::string_view(e.name) != "rtt") return;
+    for (std::uint8_t i = 0; i < e.n_fields; ++i) {
+      if (std::string_view(e.fields[i].key) == "rtt_ms" &&
+          e.fields[i].value > worst_ms) {
+        worst_ms = e.fields[i].value;
+        worst_t_s = static_cast<double>(e.t_ns) / 1e9;
+      }
+    }
+  });
+  std::printf("worst rtt %.0f ms at t=%.2f s\n", worst_ms, worst_t_s);
+
+  // Trace context around the spike: every recorded event within +-1.5 s.
+  obs::tracer().for_each([&](const obs::TraceEvent& e) {
+    const double t = static_cast<double>(e.t_ns) / 1e9;
+    if (t <= worst_t_s - 1.5 || t >= worst_t_s + 1.5) return;
+    if (std::string_view(e.name) == "rtt") {
+      std::printf("A %.3f %.0f\n", t, e.fields[0].value);
+    }
+  });
+  // Channel rate around that time (from the input trace, not the tracer).
+  for (double t = worst_t_s - 1.5; t < worst_t_s + 1.5; t += 0.2) {
+    std::printf("C %.2f %.2f Mbps\n", t,
+                tr.rate_at(TimePoint{(int64_t)(t * 1e9)}) / 1e6);
+  }
+
+  if (argc > 0) {
+    if (obs::write_trace_file(obs::tracer(), argv[0])) {
+      std::printf("trace written: %s (%zu events)\n", argv[0],
+                  obs::tracer().size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", argv[0]);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// --- fair: two RTC flows, one optimised, through one AP ------------------
+//   debug_run fair
+int run_fair(int, char**) {
+  const auto tr = trace::constant_trace(20e6, Duration::seconds(90));
+  app::ScenarioConfig cfg;
+  cfg.channel_trace = &tr;
+  cfg.duration = Duration::seconds(90);
+  cfg.warmup = Duration::seconds(15);
+  cfg.seed = 11;
+  cfg.protocol = app::Protocol::kRtp;
+  cfg.rtc_flows = 2;
+  cfg.ap.mode = app::ApMode::kZhuge;
+  cfg.optimize_flow = {true, false};
+  cfg.video.max_bitrate_bps = 20e6;
+  auto r = app::run_scenario(cfg);
+  std::printf("flow1 %.2f flow2 %.2f Mbps\n", r.flows[0].goodput_bps / 1e6,
+              r.flows[1].goodput_bps / 1e6);
+  return 0;
+}
+
+// --- mcs: long MCS-switching run (random rate steps) ---------------------
+//   debug_run mcs [zhuge]
+int run_mcs(int argc, char** argv) {
+  app::ScenarioConfig cfg;
+  cfg.mcs_index = 5;
+  cfg.mcs_random_switch = true;
+  cfg.video.max_bitrate_bps = 12e6;
+
+  cfg.duration = Duration::seconds(240);
+  cfg.warmup = Duration::seconds(5);
+  cfg.seed = 9;
+  cfg.ap.mode = (argc > 0 && std::string_view(argv[0]) == "zhuge")
+                    ? app::ApMode::kZhuge
+                    : app::ApMode::kNone;
+  auto r = app::run_scenario(cfg);
+  const auto& ts = r.rtt_series_ms.points();
+  const auto& rs = r.rate_series_bps.points();
+  size_t j = 0;
+  for (size_t i = 0; i < rs.size(); i += 20) {
+    while (j + 1 < ts.size() && ts[j + 1].t <= rs[i].t) ++j;
+    std::printf("%.0f rate=%.1f rtt=%.0f\n", rs[i].t.to_seconds(),
+                rs[i].value / 1e6, j < ts.size() ? ts[j].value : 0.0);
+  }
+  std::printf("ratio200=%.3f goodput=%.2f drops=%llu\n",
+              r.primary().network_rtt_ms.ratio_above(200),
+              r.primary().goodput_bps / 1e6, (unsigned long long)r.qdisc_drops);
+  return 0;
+}
+
+// --- k5: degradation-seconds grid over drop factor x seed ----------------
+//   debug_run k5
+int run_k5(int, char**) {
+  for (double k : {5.0, 10.0, 20.0}) {
+    for (int z = 0; z < 2; ++z) {
+      std::printf("k=%2.0f %-5s:", k, z ? "zhuge" : "none");
+      for (uint64_t s = 1; s <= 3; ++s) {
+        const auto tr = trace::step_trace(30e6, 30e6 / k, Duration::seconds(20),
+                                          Duration::seconds(40));
+        app::ScenarioConfig cfg;
+        cfg.channel_trace = &tr;
+        cfg.duration = Duration::seconds(40);
+        cfg.warmup = Duration::seconds(5);
+        cfg.seed = s;
+        cfg.video.max_bitrate_bps = 40e6;
+        cfg.ap.queue_limit_bytes = 100 * 1500;
+        cfg.ap.mode = z ? app::ApMode::kZhuge : app::ApMode::kNone;
+        auto r = app::run_scenario(cfg);
+        std::printf(" %6.2f",
+                    r.rtt_series_ms
+                        .time_above(200.0, TimePoint::zero() + Duration::seconds(20),
+                                    TimePoint::zero() + Duration::seconds(40))
+                        .to_seconds());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+struct Case {
+  const char* name;
+  const char* usage;
+  int (*fn)(int, char**);
+};
+
+constexpr Case kCases[] = {
+    {"scenario", "scenario [zhuge] [tcp] [secs]", run_scenario_case},
+    {"drop", "drop [none|zhuge|fastack|abc] [tcp] [k] [metrics_out.json]", run_drop},
+    {"drop2", "drop2 [none|zhuge|bulk]", run_drop2},
+    {"tcp", "tcp", run_tcp},
+    {"seeds", "seeds [tcp]", run_seeds},
+    {"spike", "spike [trace_out.json]", run_spike},
+    {"fair", "fair", run_fair},
+    {"mcs", "mcs [zhuge]", run_mcs},
+    {"k5", "k5", run_k5},
+};
+
+void list_cases(std::FILE* out) {
+  std::fprintf(out, "usage: debug_run <case> [args...]\ncases:\n");
+  for (const Case& c : kCases) std::fprintf(out, "  debug_run %s\n", c.usage);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--list") == 0 ||
+      std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    list_cases(argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  for (const Case& c : kCases) {
+    if (std::strcmp(argv[1], c.name) == 0) return c.fn(argc - 2, argv + 2);
+  }
+  std::fprintf(stderr, "debug_run: unknown case '%s'\n", argv[1]);
+  list_cases(stderr);
+  return 2;
+}

@@ -1,0 +1,123 @@
+// zlint CLI. Usage:
+//
+//   zlint [--json] [--root DIR] [path...]
+//
+// Paths may be files or directories (recursed; .hpp/.h/.cpp/.cc only) and
+// default to "src" under --root (default: current directory). Files are
+// classified by their path relative to --root, so run it from the repo
+// root or pass --root explicitly. Exits 1 iff any diagnostic is emitted.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "zlint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  fs::path root = ".";
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: zlint [--json] [--root DIR] [path...]   (default path: src)");
+      std::fputs("rules:", stdout);
+      for (const auto& r : zlint::rule_names()) std::printf(" %s", r.c_str());
+      std::puts("\nsuppress with: // zlint-allow(rule): reason");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "zlint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) inputs.push_back(root / "src");
+
+  std::vector<fs::path> files;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(in, ec)) {
+        if (e.is_regular_file() && lintable(e.path())) files.push_back(e.path());
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "zlint: no such file or directory: %s\n",
+                   in.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<zlint::Diagnostic> all;
+  for (const auto& f : files) {
+    std::error_code ec;
+    fs::path rel = fs::relative(f, root, ec);
+    if (ec || rel.empty()) rel = f;
+    auto diags = zlint::analyze_file(f.string(), rel.generic_string());
+    all.insert(all.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const auto& d = all[i];
+      std::printf("%s\n  {\"path\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+                  "\"message\": \"%s\"}",
+                  i == 0 ? "" : ",", json_escape(d.path).c_str(), d.line,
+                  json_escape(d.rule).c_str(), json_escape(d.message).c_str());
+    }
+    std::printf("%s]\n", all.empty() ? "" : "\n");
+  } else {
+    for (const auto& d : all) std::puts(zlint::to_string(d).c_str());
+    if (!all.empty()) {
+      std::fprintf(stderr, "zlint: %zu diagnostic%s in %zu file%s\n", all.size(),
+                   all.size() == 1 ? "" : "s", files.size(),
+                   files.size() == 1 ? "" : "s");
+    }
+  }
+  return all.empty() ? 0 : 1;
+}

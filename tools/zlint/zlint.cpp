@@ -1,0 +1,627 @@
+#include "zlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace zlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Just enough C++ lexing to walk identifiers, literals and
+// punctuation with line numbers; comments and strings are consumed (never
+// tokenised) so rule matching cannot fire inside them.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string_view text;
+  int line;
+};
+
+struct Include {
+  std::string path;  ///< include target, quotes/brackets stripped
+  bool quoted;       ///< "..." (project include) vs <...> (system)
+  int line;
+};
+
+struct FileInfo {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  /// line -> rules silenced on that line ("*" silences everything).
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Extract every rule named in `zlint-allow(rule[,rule...])` clauses.
+std::vector<std::string> parse_allow_rules(std::string_view comment) {
+  std::vector<std::string> out;
+  static constexpr std::string_view kTag = "zlint-allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
+    pos += kTag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) return out;
+    std::string_view rules = comment.substr(pos, close - pos);
+    while (!rules.empty()) {
+      const std::size_t comma = rules.find(',');
+      std::string_view one = rules.substr(0, comma);
+      while (!one.empty() && one.front() == ' ') one.remove_prefix(1);
+      while (!one.empty() && one.back() == ' ') one.remove_suffix(1);
+      if (!one.empty()) out.emplace_back(one);
+      if (comma == std::string_view::npos) break;
+      rules.remove_prefix(comma + 1);
+    }
+    pos = close;
+  }
+  return out;
+}
+
+FileInfo lex(std::string_view text) {
+  FileInfo out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  int last_code_line = 0;  // last line that produced a token
+
+  // Suppressions from own-line comments wait here until the next line of
+  // code (or include) appears, however many comment lines intervene.
+  std::vector<std::string> pending;
+  const auto flush_pending = [&](int code_line) {
+    for (auto& r : pending) out.suppressions[code_line].insert(std::move(r));
+    pending.clear();
+  };
+
+  const auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? text[i + off] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      const bool own_line = last_code_line != line;
+      while (i < n && text[i] != '\n') ++i;
+      auto rules = parse_allow_rules(text.substr(start, i - start));
+      for (auto& r : rules) {
+        if (own_line) pending.push_back(std::move(r));
+        else out.suppressions[line].insert(std::move(r));
+      }
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      const bool own_line = last_code_line != line;
+      i += 2;
+      while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) i += 2;
+      auto rules = parse_allow_rules(text.substr(start, i - start));
+      for (auto& r : rules) {
+        if (own_line) pending.push_back(std::move(r));
+        else out.suppressions[start_line].insert(std::move(r));
+      }
+      continue;
+    }
+    // Preprocessor: only #include needs structure; everything else is
+    // lexed normally so banned tokens inside macro bodies still match.
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      if (text.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+        if (j < n && (text[j] == '"' || text[j] == '<')) {
+          const char closer = text[j] == '"' ? '"' : '>';
+          const std::size_t tstart = j + 1;
+          std::size_t tend = tstart;
+          while (tend < n && text[tend] != closer && text[tend] != '\n') ++tend;
+          flush_pending(line);
+          out.includes.push_back(
+              {std::string(text.substr(tstart, tend - tstart)),
+               closer == '"', line});
+          i = tend < n && text[tend] == closer ? tend + 1 : tend;
+          continue;
+        }
+      }
+      ++i;
+      continue;
+    }
+    // String literal (incl. prefixed and raw strings).
+    if (c == '"' || ((c == 'L' || c == 'u' || c == 'U' || c == 'R') &&
+                     (peek(1) == '"' ||
+                      (peek(1) == '8' && peek(2) == '"') ||
+                      (peek(1) == 'R' && peek(2) == '"')))) {
+      // Advance to the opening quote, noting whether this is a raw string.
+      bool raw = false;
+      while (i < n && text[i] != '"') {
+        if (text[i] == 'R') raw = true;
+        ++i;
+      }
+      if (i >= n) break;
+      ++i;  // past the opening quote
+      if (raw) {
+        // R"delim( ... )delim"
+        std::size_t dend = i;
+        while (dend < n && text[dend] != '(') ++dend;
+        const std::string closer =
+            ")" + std::string(text.substr(i, dend - i)) + "\"";
+        const std::size_t endpos = text.find(closer, dend);
+        for (std::size_t k = dend; k < std::min(endpos, n); ++k)
+          if (text[k] == '\n') ++line;
+        i = endpos == std::string_view::npos ? n : endpos + closer.size();
+      } else {
+        while (i < n && text[i] != '"') {
+          if (text[i] == '\\') ++i;
+          else if (text[i] == '\n') ++line;  // unterminated; stay sane
+          ++i;
+        }
+        if (i < n) ++i;
+      }
+      last_code_line = line;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      last_code_line = line;
+      continue;
+    }
+    // Number (also consumes digit separators and suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = text[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                    text[i - 1] == 'p' || text[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      flush_pending(line);
+      out.tokens.push_back({TokKind::kNumber, text.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(text[i])) ++i;
+      flush_pending(line);
+      out.tokens.push_back({TokKind::kIdent, text.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+    // Punctuation: split off the multi-char operators the rules care
+    // about; everything else is a single character.
+    {
+      static constexpr std::string_view kTwo[] = {"::", "==", "!=", "->",
+                                                  "<=", ">=", "&&", "||",
+                                                  "<<", ">>", "++", "--"};
+      std::size_t len = 1;
+      for (const auto op : kTwo) {
+        if (text.compare(i, op.size(), op) == 0) {
+          len = op.size();
+          break;
+        }
+      }
+      flush_pending(line);
+      out.tokens.push_back({TokKind::kPunct, text.substr(i, len), line});
+      last_code_line = line;
+      i += len;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layer classification and the layer DAG.
+// ---------------------------------------------------------------------------
+
+/// Top-level dirs under src/, bottom layer first. obs sits just above sim:
+/// conceptually cross-cutting, but in the include graph it is a base
+/// facility (metric/trace macros) pulled into hot paths everywhere.
+constexpr std::string_view kSrcLayers[] = {
+    "sim", "obs", "stats", "net", "trace", "queue", "rtc", "wireless",
+    "baseline", "cca", "transport", "core", "fault", "app"};
+
+bool is_src_layer(std::string_view layer) {
+  return std::find(std::begin(kSrcLayers), std::end(kSrcLayers), layer) !=
+         std::end(kSrcLayers);
+}
+
+/// from-layer -> set of layers it may include (own layer always allowed).
+const std::map<std::string_view, std::set<std::string_view>>& allowed_edges() {
+  static const std::map<std::string_view, std::set<std::string_view>> kAllowed = {
+      {"sim", {}},
+      {"obs", {"sim"}},
+      {"stats", {"sim"}},
+      {"net", {"sim", "obs"}},
+      {"trace", {"sim"}},
+      {"queue", {"sim", "net", "obs"}},
+      {"rtc", {"sim", "stats"}},
+      {"wireless", {"sim", "net", "queue", "trace", "obs"}},
+      {"baseline", {"sim", "net", "stats"}},
+      {"cca", {"sim", "net", "stats"}},
+      {"transport", {"sim", "net", "stats", "rtc", "cca"}},
+      {"core", {"sim", "net", "stats", "queue", "obs"}},
+      {"fault", {"sim", "net", "obs"}},
+      {"app",
+       {"sim", "obs", "stats", "net", "trace", "queue", "rtc", "wireless",
+        "baseline", "cca", "transport", "core", "fault"}},
+  };
+  return kAllowed;
+}
+
+struct FileClass {
+  std::string layer;  ///< "sim".."app", or "tools"/"tests"/"bench"/"examples"
+  bool in_src = false;
+};
+
+FileClass classify(std::string_view rel_path) {
+  std::string norm(rel_path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  while (norm.rfind("./", 0) == 0) norm.erase(0, 2);
+  FileClass fc;
+  const std::size_t slash = norm.find('/');
+  if (slash == std::string::npos) return fc;
+  const std::string first = norm.substr(0, slash);
+  if (first == "src") {
+    const std::size_t slash2 = norm.find('/', slash + 1);
+    if (slash2 != std::string::npos) {
+      fc.layer = norm.substr(slash + 1, slash2 - slash - 1);
+      fc.in_src = true;
+    }
+  } else if (first == "tools" || first == "tests" || first == "bench" ||
+             first == "examples") {
+    fc.layer = first;
+  }
+  return fc;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+void emit(std::vector<Diagnostic>& diags, std::string_view path, int line,
+          std::string_view rule, std::string message) {
+  diags.push_back({std::string(path), line, std::string(rule), std::move(message)});
+}
+
+bool is_member_access(const Token& t) {
+  return t.kind == TokKind::kPunct && (t.text == "." || t.text == "->");
+}
+
+/// Does `t[i]` look like a *call of the global/std function* rather than a
+/// member call (`obj.time()`), an out-of-line member or declaration
+/// (`int time() const`, `Clock::time()`), or another namespace's symbol?
+bool banned_call_context(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if (is_member_access(prev)) return false;
+  if (prev.text == "::") return i >= 2 && t[i - 2].text == "std";
+  if (prev.kind == TokKind::kIdent) {
+    // A preceding identifier is usually a type (declaration) — except for
+    // statement keywords, after which this really is a call.
+    static const std::set<std::string_view> kStmtKeywords = {
+        "return", "co_return", "co_yield", "case", "else", "do", "throw"};
+    return kStmtKeywords.count(prev.text) > 0;
+  }
+  return true;
+}
+
+/// banned-api: nondeterminism sources under src/. sim::Rng and the
+/// simulated clock are the only legitimate entropy/time sources there.
+void rule_banned_api(const FileInfo& f, std::string_view path,
+                     std::vector<Diagnostic>& diags) {
+  static const std::set<std::string_view> kAlways = {
+      "srand",        "random_device",         "system_clock",
+      "steady_clock", "high_resolution_clock", "getenv"};
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string_view id = t[i].text;
+    if (kAlways.count(id) > 0) {
+      emit(diags, path, t[i].line, "banned-api",
+           "'" + std::string(id) +
+               "' is a wall-clock/entropy/environment source; use sim::Rng "
+               "and the Simulator clock (or zlint-allow(banned-api) with a "
+               "reason)");
+      continue;
+    }
+    if ((id == "rand" || id == "time") && i + 1 < t.size() &&
+        t[i + 1].text == "(" && banned_call_context(t, i)) {
+      emit(diags, path, t[i].line, "banned-api",
+           "call to '" + std::string(id) +
+               "()' is nondeterministic; use sim::Rng / the Simulator clock");
+    }
+  }
+}
+
+/// Skip a balanced template argument list starting at `i` (which must
+/// point at '<'); returns the index one past the matching '>'. Treats
+/// ">>" as two closers (template context).
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    const std::string_view s = t[i].text;
+    if (s == "<") ++depth;
+    else if (s == "<<") depth += 2;
+    else if (s == ">") --depth;
+    else if (s == ">>") depth -= 2;
+    else if (s == ";" || s == "{") break;  // malformed; bail out
+    if (depth <= 0 && s.front() == '>') return i + 1;
+  }
+  return i;
+}
+
+/// determinism-hazard: iteration over unordered containers in
+/// result-affecting layers. Heuristic: track identifiers declared in this
+/// file with an unordered_{map,set} type, then flag range-for statements
+/// whose range expression mentions one (or the type itself), and direct
+/// .begin()/.cbegin()/... iterator walks.
+void rule_determinism_hazard(const FileInfo& f, std::string_view path,
+                             std::vector<Diagnostic>& diags) {
+  const auto& t = f.tokens;
+  std::set<std::string_view> unordered_vars;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") j = skip_template_args(t, j);
+    // Optional cv/ref/pointer decorations, then the declarator name.
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent) {
+      unordered_vars.insert(t[j].text);
+    }
+  }
+
+  const auto is_unordered_expr_token = [&](const Token& tok) {
+    return tok.kind == TokKind::kIdent &&
+           (tok.text == "unordered_map" || tok.text == "unordered_set" ||
+            unordered_vars.count(tok.text) > 0);
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for over an unordered container.
+    if (t[i].kind == TokKind::kIdent && t[i].text == "for" &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        const std::string_view s = t[j].text;
+        if (s == "(") ++depth;
+        else if (s == ")") {
+          if (--depth == 0) { close = j; break; }
+        } else if (s == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (is_unordered_expr_token(t[j])) {
+            emit(diags, path, t[i].line, "determinism-hazard",
+                 "range-for over unordered container '" +
+                     std::string(t[j].text) +
+                     "': iteration order is implementation-defined and can "
+                     "leak into results; use std::map, a sorted snapshot, or "
+                     "an insertion-order vector");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // Iterator walk: var.begin() / var->cbegin() / ...
+    if (is_unordered_expr_token(t[i]) && i + 2 < t.size() &&
+        is_member_access(t[i + 1]) && t[i + 2].kind == TokKind::kIdent) {
+      static const std::set<std::string_view> kIterFns = {
+          "begin", "cbegin", "rbegin", "crbegin"};
+      if (kIterFns.count(t[i + 2].text) > 0 && i + 3 < t.size() &&
+          t[i + 3].text == "(") {
+        emit(diags, path, t[i].line, "determinism-hazard",
+             "iterator walk over unordered container '" +
+                 std::string(t[i].text) +
+                 "': iteration order is implementation-defined");
+      }
+    }
+  }
+}
+
+bool is_float_literal(std::string_view num) {
+  if (num.size() > 1 && (num[1] == 'x' || num[1] == 'X')) {
+    return num.find('.') != std::string_view::npos ||
+           num.find('p') != std::string_view::npos ||
+           num.find('P') != std::string_view::npos;
+  }
+  for (const char c : num) {
+    if (c == '.' || c == 'e' || c == 'E') return true;
+  }
+  return num.back() == 'f' || num.back() == 'F';
+}
+
+/// float-equality: ==/!= where an adjacent operand is a floating literal
+/// or an identifier declared double/float in this file. Exact FP equality
+/// is both a correctness smell and a reproducibility hazard (results can
+/// flip with FMA/rounding differences across builds).
+void rule_float_equality(const FileInfo& f, std::string_view path,
+                         std::vector<Diagnostic>& diags) {
+  const auto& t = f.tokens;
+  std::set<std::string_view> float_vars;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent &&
+        (t[i].text == "double" || t[i].text == "float") &&
+        t[i + 1].kind == TokKind::kIdent) {
+      // `double x =`, `double x;`, `double x,`, `double x)` `double x{`:
+      // a variable/param declaration, not a function declaration.
+      const std::string_view after = t[i + 2].text;
+      if (after == "=" || after == ";" || after == "," || after == ")" ||
+          after == "{") {
+        float_vars.insert(t[i + 1].text);
+      }
+    }
+  }
+  const auto floaty = [&](const Token& tok) {
+    if (tok.kind == TokKind::kNumber) return is_float_literal(tok.text);
+    return tok.kind == TokKind::kIdent && float_vars.count(tok.text) > 0;
+  };
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct || (t[i].text != "==" && t[i].text != "!="))
+      continue;
+    // A nullptr operand means the other side is a pointer, whatever its
+    // name shadows — e.g. `double* d; d != nullptr`.
+    if (t[i - 1].text == "nullptr" || t[i + 1].text == "nullptr") continue;
+    if (floaty(t[i - 1]) || floaty(t[i + 1])) {
+      emit(diags, path, t[i].line, "float-equality",
+           "'" + std::string(t[i].text) +
+               "' between floating-point expressions; compare with an "
+               "explicit tolerance or restructure");
+    }
+  }
+}
+
+/// include-layering: every quoted #include whose first component is a
+/// src/ layer must follow the layer DAG (see DESIGN.md §11).
+void rule_include_layering(const FileInfo& f, const FileClass& fc,
+                           std::string_view path,
+                           std::vector<Diagnostic>& diags) {
+  const bool top_level = fc.layer == "tools" || fc.layer == "tests" ||
+                         fc.layer == "bench" || fc.layer == "examples";
+  for (const Include& inc : f.includes) {
+    if (!inc.quoted) continue;
+    const std::size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // local header, not a layer
+    const std::string target = inc.path.substr(0, slash);
+    if (target == "tools" || target == "tests" || target == "bench" ||
+        target == "examples") {
+      emit(diags, path, inc.line, "include-layering",
+           "library and test code may not include from '" + target + "/'");
+      continue;
+    }
+    if (!is_src_layer(target)) continue;
+    if (top_level) continue;           // binaries may include any layer
+    if (!fc.in_src) continue;          // unknown location: nothing to check
+    if (target == fc.layer) continue;  // own layer always fine
+    const auto it = allowed_edges().find(fc.layer);
+    if (it == allowed_edges().end()) continue;  // unknown layer: permissive
+    if (it->second.count(target) == 0) {
+      std::string allowed;
+      for (const auto a : it->second)
+        allowed += (allowed.empty() ? "" : ", ") + std::string(a);
+      emit(diags, path, inc.line, "include-layering",
+           "layer '" + fc.layer + "' may not include \"" + inc.path +
+               "\" (allowed layers: " + (allowed.empty() ? "none" : allowed) +
+               ")");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.path << ':' << d.line << ": " << d.rule << ": " << d.message;
+  return os.str();
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "banned-api", "determinism-hazard", "float-equality", "include-layering"};
+  return kNames;
+}
+
+bool layer_edge_allowed(std::string_view from_layer, std::string_view to_layer) {
+  if (from_layer == to_layer) return true;
+  if (from_layer == "tools" || from_layer == "tests" || from_layer == "bench" ||
+      from_layer == "examples") {
+    return to_layer != "tools" && to_layer != "tests" && to_layer != "bench" &&
+           to_layer != "examples";
+  }
+  const auto it = allowed_edges().find(from_layer);
+  if (it == allowed_edges().end()) return true;
+  return it->second.count(to_layer) > 0;
+}
+
+std::vector<Diagnostic> analyze_source(std::string_view rel_path,
+                                       std::string_view text) {
+  const FileClass fc = classify(rel_path);
+  const FileInfo info = lex(text);
+
+  std::vector<Diagnostic> diags;
+  if (fc.in_src) {
+    rule_banned_api(info, rel_path, diags);
+    if (fc.layer != "obs") rule_determinism_hazard(info, rel_path, diags);
+    rule_float_equality(info, rel_path, diags);
+  }
+  rule_include_layering(info, fc, rel_path, diags);
+
+  // Apply suppressions, then order for stable output.
+  std::erase_if(diags, [&](const Diagnostic& d) {
+    const auto it = info.suppressions.find(d.line);
+    if (it == info.suppressions.end()) return false;
+    return it->second.count(d.rule) > 0 || it->second.count("*") > 0;
+  });
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return diags;
+}
+
+std::vector<Diagnostic> analyze_file(const std::string& abs_path,
+                                     std::string_view rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    return {{std::string(rel_path), 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  return analyze_source(rel_path, text);
+}
+
+}  // namespace zlint

@@ -1,0 +1,63 @@
+#pragma once
+// zlint — in-repo determinism & layering static analysis for src/.
+//
+// A deliberately small, dependency-free lint pass (lexer, not a compiler
+// frontend): it tokenises C++ source, tracks suppression comments, and
+// runs four rule families that guard the properties the parallel sweep's
+// bit-identity contract depends on:
+//
+//   banned-api           wall clocks, std::rand/srand, random_device,
+//                        time(), getenv under src/
+//   determinism-hazard   iteration over std::unordered_map/unordered_set
+//                        in result-affecting layers
+//   float-equality       ==/!= between floating-point expressions
+//   include-layering     #include edges must follow the layer DAG
+//
+// Diagnostics on a line are silenced by a suppression comment on the same
+// line, or on the immediately preceding line if that line holds only the
+// comment:
+//
+//   // zlint-allow(rule): reason
+//   // zlint-allow(rule1,rule2): reason
+//
+// The reason clause is mandatory in spirit (reviewed, not machine-checked).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zlint {
+
+struct Diagnostic {
+  std::string path;  ///< as passed in (repo-relative for layer rules)
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// `path:line: rule: message` — the canonical single-line form.
+[[nodiscard]] std::string to_string(const Diagnostic& d);
+
+/// All rule names, in the order rules run. Useful for CLI help/tests.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Lint one translation unit. `rel_path` must be repo-relative (e.g.
+/// "src/queue/fifo.hpp") — the leading directory decides which layer the
+/// file belongs to and therefore which rules apply and which #include
+/// edges are legal. Suppressed diagnostics are dropped before returning.
+[[nodiscard]] std::vector<Diagnostic> analyze_source(std::string_view rel_path,
+                                                     std::string_view text);
+
+/// Read `abs_path` from disk and lint it as `rel_path`. Returns an
+/// io-error diagnostic if the file cannot be read.
+[[nodiscard]] std::vector<Diagnostic> analyze_file(const std::string& abs_path,
+                                                   std::string_view rel_path);
+
+/// The layer DAG: true iff a file in `from_layer` may include a header
+/// from `to_layer`. Layers are top-level dirs under src/ plus the
+/// pseudo-layers "tools", "tests", "bench", "examples". Unknown layers are
+/// permissive (nothing to enforce). Exposed for the layering tests.
+[[nodiscard]] bool layer_edge_allowed(std::string_view from_layer,
+                                      std::string_view to_layer);
+
+}  // namespace zlint
