@@ -12,6 +12,7 @@
 #include "app/scenario.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/session.hpp"
 #include "obs/tracer.hpp"
 #include "trace/synthetic.hpp"
 
@@ -163,60 +164,9 @@ inline const char* mode_name(ApMode m) {
   return "?";
 }
 
-/// Observability session for a bench binary. Parses
-///   --trace <file>     enable the event tracer, dump on exit
-///                      (.json = Chrome trace_event, .jsonl, .csv)
-///   --metrics <file>   enable the metrics registry, dump JSON on exit
-/// and writes the requested files when it goes out of scope. With neither
-/// flag, instrumentation stays disabled and the run is unchanged.
-class ObsSession {
- public:
-  ObsSession(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (arg == "--trace" && i + 1 < argc) {
-        trace_path_ = argv[++i];
-        obs::set_tracing_enabled(true);
-      } else if (arg == "--metrics" && i + 1 < argc) {
-        metrics_path_ = argv[++i];
-        obs::set_metrics_enabled(true);
-      }
-    }
-  }
-
-  ObsSession(const ObsSession&) = delete;
-  ObsSession& operator=(const ObsSession&) = delete;
-
-  ~ObsSession() {
-    if (!trace_path_.empty()) {
-      if (obs::write_trace_file(obs::tracer(), trace_path_)) {
-        std::fprintf(stderr, "[obs] trace: %s (%zu events",
-                     trace_path_.c_str(), obs::tracer().size());
-        if (obs::tracer().overwritten() > 0) {
-          std::fprintf(stderr, ", %llu overwritten",
-                       static_cast<unsigned long long>(obs::tracer().overwritten()));
-        }
-        std::fprintf(stderr, ")\n");
-      } else {
-        std::fprintf(stderr, "[obs] failed to write trace: %s\n",
-                     trace_path_.c_str());
-      }
-    }
-    if (!metrics_path_.empty()) {
-      if (obs::write_metrics_file(obs::metrics(), metrics_path_)) {
-        std::fprintf(stderr, "[obs] metrics: %s\n", metrics_path_.c_str());
-      } else {
-        std::fprintf(stderr, "[obs] failed to write metrics: %s\n",
-                     metrics_path_.c_str());
-      }
-    }
-    obs::set_tracing_enabled(false);
-    obs::set_metrics_enabled(false);
-  }
-
- private:
-  std::string trace_path_;
-  std::string metrics_path_;
-};
+/// Observability session for a bench binary: the shared CLI session from
+/// obs/session.hpp (benches, examples, and tools all use the same one, so
+/// every entrypoint handles --trace/--metrics identically).
+using ObsSession = obs::ObsSession;
 
 }  // namespace zhuge::bench

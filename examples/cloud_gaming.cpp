@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "app/scenario.hpp"
+#include "obs/session.hpp"
 #include "trace/synthetic.hpp"
 
 using namespace zhuge;
@@ -48,7 +49,8 @@ void report(const char* label, const app::ScenarioResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs(argc, argv);  // --trace/--metrics, same as every bench
   std::printf("cloud gaming over a City-5G-like link (60 fps, Copa over TCP)\n");
   std::printf("(the paper's intro: cloud gaming demands <96 ms; 5G mmWave fades\n"
               " are exactly the tail events Zhuge targets)\n\n");

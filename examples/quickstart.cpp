@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "app/scenario.hpp"
+#include "obs/session.hpp"
 #include "trace/synthetic.hpp"
 
 using namespace zhuge;
@@ -39,7 +40,8 @@ void report(const char* label, const app::ScenarioResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs(argc, argv);  // --trace/--metrics, same as every bench
   std::printf("zhuge-rtc quickstart: GCC/RTP over Restaurant-WiFi-like channel\n\n");
   const trace::Trace tr = trace::make_trace(trace::TraceKind::kRestaurantWifi,
                                             /*seed=*/7, sim::Duration::seconds(120));

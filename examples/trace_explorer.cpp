@@ -13,11 +13,13 @@
 #include <filesystem>
 
 #include "app/scenario.hpp"
+#include "obs/session.hpp"
 #include "trace/synthetic.hpp"
 
 using namespace zhuge;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs(argc, argv);  // --trace/--metrics, same as every bench
   const auto dur = sim::Duration::seconds(300);
 
   std::printf("synthetic trace classes and their ABW-fluctuation profiles:\n");

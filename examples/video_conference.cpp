@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "app/scenario.hpp"
+#include "obs/session.hpp"
 #include "trace/synthetic.hpp"
 
 using namespace zhuge;
@@ -44,7 +45,8 @@ void report(const char* label, const app::ScenarioResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs(argc, argv);  // --trace/--metrics, same as every bench
   std::printf("video conference on home WiFi with a periodic file transfer\n");
   std::printf("(GCC over RTP/RTCP; the transfer toggles every 30 s for 3 min)\n\n");
 

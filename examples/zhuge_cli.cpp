@@ -3,11 +3,13 @@
 // Run any combination of protocol, CCA, AP mode, qdisc, and channel (a
 // built-in synthetic trace class or your own CSV) without writing code:
 //
-//   ./build/examples/zhuge_cli --trace W1 --mode zhuge --duration 120
-//   ./build/examples/zhuge_cli --trace my.csv --protocol tcp --mode fastack
+//   ./build/examples/zhuge_cli --channel W1 --mode zhuge --duration 120
+//   ./build/examples/zhuge_cli --channel my.csv --protocol tcp --mode fastack
 //   ./build/examples/zhuge_cli --help
 //
-// Prints the paper's headline metrics for the run.
+// Prints the paper's headline metrics for the run. Like every other
+// entrypoint, accepts --trace/--metrics (obs::ObsSession) for
+// observability output.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,7 @@
 #include <string>
 
 #include "app/scenario.hpp"
+#include "obs/session.hpp"
 #include "trace/synthetic.hpp"
 
 using namespace zhuge;
@@ -23,7 +26,7 @@ using namespace zhuge;
 namespace {
 
 struct Options {
-  std::string trace = "W1";
+  std::string channel = "W1";
   std::string protocol = "rtp";
   std::string cca = "copa";     // TCP only; RTP uses gcc/nada
   std::string rtp_cca = "gcc";
@@ -40,7 +43,7 @@ void usage() {
   std::puts(
       "zhuge_cli — run one wireless RTC scenario and print tail metrics\n"
       "\n"
-      "  --trace <W1|W2|C1|C2|C3|ETH|path.csv>   channel (default W1)\n"
+      "  --channel <W1|W2|C1|C2|C3|ETH|path.csv> channel (default W1)\n"
       "  --protocol <rtp|tcp>                    transport (default rtp)\n"
       "  --cca <copa|bbr|cubic|abc>              TCP CCA (default copa)\n"
       "  --rtp-cca <gcc|nada|scream>             RTP controller (default gcc)\n"
@@ -50,7 +53,8 @@ void usage() {
       "  --bitrate <mbps>                        encoder cap (default 2.5)\n"
       "  --competitors <n>                       CUBIC bulk flows (default 0)\n"
       "  --interferers <n>                       co-channel APs (default 0)\n"
-      "  --seed <n>                              RNG seed (default 1)\n");
+      "  --seed <n>                              RNG seed (default 1)\n"
+      "  --trace <file> / --metrics <file>       observability output\n");
 }
 
 std::optional<trace::TraceKind> builtin_trace(const std::string& name) {
@@ -74,7 +78,8 @@ bool parse(int argc, char** argv, Options& opt) {
       return argv[++i];
     };
     if (flag == "--help" || flag == "-h") return false;
-    if (flag == "--trace") opt.trace = value();
+    if (flag == "--trace" || flag == "--metrics") value();  // obs::ObsSession's
+    else if (flag == "--channel") opt.channel = value();
     else if (flag == "--protocol") opt.protocol = value();
     else if (flag == "--cca") opt.cca = value();
     else if (flag == "--rtp-cca") opt.rtp_cca = value();
@@ -96,6 +101,7 @@ bool parse(int argc, char** argv, Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::ObsSession obs(argc, argv);
   Options opt;
   if (!parse(argc, argv, opt)) {
     usage();
@@ -105,7 +111,7 @@ int main(int argc, char** argv) {
   const auto dur = sim::Duration::from_seconds(opt.duration_s);
   trace::Trace tr;
   app::LinkKind link = app::LinkKind::kWifi;
-  if (const auto kind = builtin_trace(opt.trace); kind.has_value()) {
+  if (const auto kind = builtin_trace(opt.channel); kind.has_value()) {
     tr = trace::make_trace(*kind, opt.seed * 13, dur);
     link = (*kind == trace::TraceKind::kRestaurantWifi ||
             *kind == trace::TraceKind::kOfficeWifi ||
@@ -114,7 +120,7 @@ int main(int argc, char** argv) {
                : app::LinkKind::kCellular;
   } else {
     try {
-      tr = trace::load_csv(opt.trace, opt.trace);
+      tr = trace::load_csv(opt.channel, opt.channel);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot load trace: %s\n", e.what());
       return 1;
@@ -151,8 +157,8 @@ int main(int argc, char** argv) {
 
   const auto r = app::run_scenario(cfg);
   const auto& f = r.primary();
-  std::printf("trace=%s protocol=%s mode=%s qdisc=%s seed=%llu (%.0fs)\n",
-              opt.trace.c_str(), opt.protocol.c_str(), opt.mode.c_str(),
+  std::printf("channel=%s protocol=%s mode=%s qdisc=%s seed=%llu (%.0fs)\n",
+              opt.channel.c_str(), opt.protocol.c_str(), opt.mode.c_str(),
               opt.qdisc.c_str(), static_cast<unsigned long long>(opt.seed),
               opt.duration_s);
   std::printf("  network RTT     p50 %6.1f ms   p99 %7.1f ms   >200ms %6.3f%%\n",

@@ -1,5 +1,7 @@
 #include "app/access_point.hpp"
 
+#include <vector>
+
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
@@ -35,12 +37,14 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, sim::Rng& rng,
     : sim_(simulator),
       rng_(rng),
       cfg_(cfg),
+      medium_(medium),
+      to_client_(std::move(to_client)),
       to_server_(std::move(to_server)),
       qdisc_(make_qdisc(cfg.qdisc, cfg.queue_limit_bytes)),
       abc_dequeue_rate_(Duration::millis(200)) {
   if (cfg_.link == LinkKind::kWifi) {
     wifi_link_ = std::make_unique<wireless::WifiLink>(
-        sim_, rng_, channel, medium, *qdisc_, cfg_.wifi, std::move(to_client));
+        sim_, rng_, channel, medium, *qdisc_, cfg_.wifi, to_client_);
     wifi_link_->set_dequeue_observer(
         [this](const Packet& p, TimePoint now) { on_qdisc_dequeue(p, now); });
     wifi_link_->set_delivery_observer([this](const Packet& p, TimePoint now) {
@@ -48,7 +52,7 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, sim::Rng& rng,
     });
   } else {
     cellular_link_ = std::make_unique<wireless::CellularLink>(
-        sim_, rng_, channel, *qdisc_, cfg_.cellular, std::move(to_client));
+        sim_, rng_, channel, *qdisc_, cfg_.cellular, to_client_);
     cellular_link_->set_dequeue_observer(
         [this](const Packet& p, TimePoint now) { on_qdisc_dequeue(p, now); });
     cellular_link_->set_delivery_observer([this](const Packet& p, TimePoint now) {
@@ -58,6 +62,60 @@ AccessPoint::AccessPoint(sim::Simulator& simulator, sim::Rng& rng,
   if (cfg_.mode == ApMode::kAbc) {
     abc_router_ = std::make_unique<baseline::AbcRouter>(cfg_.abc);
   }
+}
+
+void AccessPoint::register_station(std::uint32_t ip, wireless::Channel& channel,
+                                   const StationConfig& scfg) {
+  auto st = std::make_unique<Station>();
+  st->kind = scfg.qdisc;
+  st->qdisc = make_qdisc(scfg.qdisc, scfg.queue_limit_bytes);
+  st->link = std::make_unique<wireless::WifiLink>(
+      sim_, rng_, channel, medium_, *st->qdisc, scfg.wifi, to_client_);
+  Station* raw = st.get();
+  st->link->set_dequeue_observer([this, raw, ip](const Packet& p, TimePoint now) {
+    on_station_dequeue(*raw, ip, p, now);
+  });
+  st->link->set_delivery_observer([this](const Packet& p, TimePoint now) {
+    on_wireless_delivered(p, now);
+  });
+  stations_[ip] = std::move(st);
+  ZHUGE_METRIC_INC("ap.station_registered");
+  ZHUGE_TRACE(sim_.now(), "ap", "register_station", {"ip", double(ip)});
+}
+
+std::size_t AccessPoint::unregister_station(std::uint32_t ip) {
+  const auto it = stations_.find(ip);
+  if (it == stations_.end() || !it->second->active) return 0;
+  Station& st = *it->second;
+  st.active = false;
+  // Flush optimiser state for every flow routed at this station. Collect
+  // first: unregister_rtc_flow mutates the set being walked.
+  std::vector<net::FlowId> victims;
+  for (const auto& flow : rtc_flows_) {
+    if (flow.dst_ip == ip) victims.push_back(flow);
+  }
+  std::size_t flushed = 0;
+  for (const auto& flow : victims) flushed += unregister_rtc_flow(flow);
+  // Drop whatever is still queued. Dequeueing directly bypasses the link's
+  // observer, so no Fortune Teller sees these as departures.
+  std::size_t dropped = 0;
+  while (st.qdisc->dequeue(sim_.now()).has_value()) ++dropped;
+  quiesced_drops_ += dropped;
+  ZHUGE_METRIC_INC("ap.station_unregistered");
+  ZHUGE_TRACE(sim_.now(), "ap", "unregister_station", {"ip", double(ip)},
+              {"flushed", double(flushed)}, {"dropped", double(dropped)});
+  return flushed;
+}
+
+wireless::WifiLink* AccessPoint::station_link(std::uint32_t ip) {
+  const auto it = stations_.find(ip);
+  return it == stations_.end() ? nullptr : it->second->link.get();
+}
+
+std::size_t AccessPoint::active_station_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, st] : stations_) n += st->active ? 1 : 0;
+  return n;
 }
 
 void AccessPoint::register_rtc_flow(const net::FlowId& flow) {
@@ -161,6 +219,21 @@ Duration AccessPoint::instantaneous_queue_delay(TimePoint now) const {
 void AccessPoint::from_wan(Packet p) {
   const TimePoint now = sim_.now();
   ZHUGE_METRIC_INC("ap.downlink_packets");
+  // Station routing: a registered station's traffic goes through its own
+  // qdisc + wireless link; everything else uses the default downlink.
+  Station* st = nullptr;
+  if (!stations_.empty()) {
+    if (const auto it = stations_.find(p.flow.dst_ip); it != stations_.end()) {
+      st = it->second.get();
+      if (!st->active) {
+        // Quiesced station: the client left the network; its traffic
+        // black-holes exactly like a real AP's for a deassociated STA.
+        ++quiesced_drops_;
+        return;
+      }
+    }
+  }
+  queue::Qdisc& dl_qdisc = st != nullptr ? *st->qdisc : *qdisc_;
   if (abc_router_ != nullptr && p.is_tcp() && !p.tcp().is_ack) {
     p.tcp().abc_mark =
         abc_router_->mark(p.size_bytes, instantaneous_queue_delay(now), now);
@@ -170,13 +243,14 @@ void AccessPoint::from_wan(Packet p) {
   const bool is_rtp = p.is_rtp();
   net::RtpHeader rtp_copy;
   if (zf != nullptr) {
-    predicted = zf->predict_downlink(p, *qdisc_);
+    predicted = zf->predict_downlink(p, dl_qdisc);
     if (is_rtp) rtp_copy = p.rtp();
     // Event-driven fail-open check: a downlink packet arriving while the
     // uplink has been silent is exactly the evidence the watchdog needs.
     zf->check_watchdog(now);
   }
-  const bool accepted = wifi_link_ != nullptr
+  const bool accepted = st != nullptr      ? st->link->offer(std::move(p))
+                        : wifi_link_ != nullptr
                             ? wifi_link_->offer(std::move(p))
                             : cellular_link_->offer(std::move(p));
   // Tail-dropped packets are never reported as received: the AP witnesses
@@ -204,6 +278,23 @@ void AccessPoint::on_qdisc_dequeue(const Packet& p, TimePoint now) {
   const bool empty_after = qdisc_->byte_count() == 0;
   for (auto& [flow, zf] : zhuge_flows_) {
     zf->on_dequeue(p, now, empty_after);
+  }
+}
+
+void AccessPoint::on_station_dequeue(Station& st, std::uint32_t ip,
+                                     const Packet& p, TimePoint now) {
+  if (st.kind == QdiscKind::kFqCoDel) {
+    if (auto* zf = zhuge_flow(p.flow); zf != nullptr) {
+      zf->on_dequeue(p, now, st.qdisc->byte_count_flow(p.flow) == 0);
+    }
+    return;
+  }
+  // Shared per-station queue: every teller whose flow rides this station
+  // must see every departure of this station's queue (same whole-queue
+  // semantics as the single-client path, scoped to the station).
+  const bool empty_after = st.qdisc->byte_count() == 0;
+  for (auto& [flow, zf] : zhuge_flows_) {
+    if (flow.dst_ip == ip) zf->on_dequeue(p, now, empty_after);
   }
 }
 

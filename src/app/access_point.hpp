@@ -61,6 +61,41 @@ class AccessPoint {
               wireless::Channel& channel, wireless::Medium& medium, Config cfg,
               PacketHandler to_client, PacketHandler to_server);
 
+  /// Per-station downlink attachment for multi-station scenarios: each
+  /// station gets its own qdisc + AMPDU WifiLink contending on the AP's
+  /// shared CSMA medium (so airtime is split the way the paper's testbed
+  /// splits it, not per-flow).
+  struct StationConfig {
+    QdiscKind qdisc = QdiscKind::kFifo;
+    std::int64_t queue_limit_bytes = 300 * 1500;
+    wireless::WifiLink::Config wifi{};
+  };
+
+  /// Attach a station reachable at client IP `ip`. Downlink packets whose
+  /// `flow.dst_ip == ip` are routed through the station's own qdisc and
+  /// wireless link instead of the default one; `channel` models that
+  /// station's PHY (per-station MCS/fade) and must outlive the AP.
+  void register_station(std::uint32_t ip, wireless::Channel& channel,
+                        const StationConfig& cfg);
+
+  /// Quiesce a station: unregister its RTC flows (flushing held feedback),
+  /// drop everything still queued for it, and black-hole subsequent
+  /// downlink arrivals. The WifiLink object itself stays alive until the
+  /// AP is destroyed — the CSMA medium may still hold a grant callback for
+  /// it, so destroying it here would dangle. Returns feedback packets
+  /// flushed from optimiser state.
+  std::size_t unregister_station(std::uint32_t ip);
+
+  /// The station's wireless link (airtime, delivery counters), or nullptr
+  /// if `ip` was never registered. Valid for quiesced stations too.
+  [[nodiscard]] wireless::WifiLink* station_link(std::uint32_t ip);
+
+  /// Number of currently active (non-quiesced) stations.
+  [[nodiscard]] std::size_t active_station_count() const;
+
+  /// Downlink packets black-holed because their station was quiesced.
+  [[nodiscard]] std::uint64_t quiesced_drops() const { return quiesced_drops_; }
+
   /// Downlink entry: a packet arrives from the WAN (Ethernet port).
   void from_wan(Packet p);
 
@@ -116,18 +151,34 @@ class AccessPoint {
   [[nodiscard]] wireless::WifiLink* wifi_link() { return wifi_link_.get(); }
 
  private:
+  struct Station {
+    QdiscKind kind = QdiscKind::kFifo;
+    std::unique_ptr<queue::Qdisc> qdisc;
+    std::unique_ptr<wireless::WifiLink> link;
+    bool active = true;
+  };
+
   void on_qdisc_dequeue(const Packet& p, TimePoint now);
+  void on_station_dequeue(Station& st, std::uint32_t ip, const Packet& p,
+                          TimePoint now);
   void on_wireless_delivered(const Packet& p, TimePoint now);
   [[nodiscard]] Duration instantaneous_queue_delay(TimePoint now) const;
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
   Config cfg_;
+  wireless::Medium& medium_;
+  PacketHandler to_client_;  ///< copy shared with every station link
   PacketHandler to_server_;
 
   std::unique_ptr<queue::Qdisc> qdisc_;
   std::unique_ptr<wireless::WifiLink> wifi_link_;
   std::unique_ptr<wireless::CellularLink> cellular_link_;
+
+  /// Stations keyed by client IP. Ordered map: quiesce/teardown walk this
+  /// and emit packets, so iteration order must be platform-stable.
+  std::map<std::uint32_t, std::unique_ptr<Station>> stations_;
+  std::uint64_t quiesced_drops_ = 0;
 
   // Ordered maps: teardown/flush/restart walk these and emit packets, so
   // iteration order is part of the simulated outcome and must not depend

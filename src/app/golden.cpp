@@ -1,0 +1,196 @@
+#include "app/golden.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace zhuge::app {
+
+namespace {
+
+using fault::Window;
+using sim::Duration;
+using sim::TimePoint;
+
+std::string to_hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::optional<std::uint64_t> from_hex(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Shared healthy baseline of the golden suite: MCS mode (self-contained,
+/// no trace files), 25 s run, 5 s warmup, seed 1. Matches the chaos
+/// harness baseline so drift in one shows up in the other.
+ScenarioConfig golden_base() {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kRtp;
+  cfg.ap.mode = ApMode::kZhuge;
+  cfg.ap.qdisc = QdiscKind::kFifo;
+  cfg.mcs_index = 7;
+  cfg.duration = Duration::seconds(25);
+  cfg.warmup = Duration::seconds(5);
+  cfg.seed = 1;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<std::string> golden_scenario_names() {
+  return {"rtp_zhuge_single", "tcp_mix", "chaos_burst"};
+}
+
+std::optional<ScenarioConfig> golden_scenario_config(const std::string& name) {
+  if (name == "rtp_zhuge_single") {
+    return golden_base();
+  }
+  if (name == "tcp_mix") {
+    ScenarioConfig cfg = golden_base();
+    cfg.protocol = Protocol::kTcp;
+    cfg.tcp_cca = TcpCcaKind::kBbr;
+    cfg.competing_bulk_flows = 2;
+    return cfg;
+  }
+  if (name == "chaos_burst") {
+    // The chaos suite's wan_burst_loss incident: Gilbert-Elliott burst
+    // loss on the WAN downlink from 10 s to 13 s.
+    ScenarioConfig cfg = golden_base();
+    cfg.faults.downlink_wan.burst =
+        fault::GilbertElliott{/*p_enter_bad=*/0.02, /*p_exit_bad=*/0.25,
+                              /*loss_good=*/0.0, /*loss_bad=*/0.5};
+    cfg.faults.downlink_wan.active = {
+        Window{TimePoint::zero() + Duration::seconds(10),
+               TimePoint::zero() + Duration::seconds(13)}};
+    return cfg;
+  }
+  return std::nullopt;
+}
+
+std::optional<GoldenRecord> compute_golden(const std::string& name) {
+  const auto cfg = golden_scenario_config(name);
+  if (!cfg.has_value()) return std::nullopt;
+
+  const ObsFreeze freeze;  // fingerprint == what a parallel sweep sees
+  const ScenarioResult r = run_scenario(*cfg);
+
+  GoldenRecord rec;
+  rec.name = name;
+  rec.seed = cfg->seed;
+  rec.fingerprint = result_fingerprint(r);
+  const auto& flow = r.primary();
+  rec.headline["rtt_p50_ms"] = flow.network_rtt_ms.quantile(0.50);
+  rec.headline["rtt_p99_ms"] = flow.network_rtt_ms.quantile(0.99);
+  rec.headline["frame_delay_p99_ms"] = flow.frame_delay_ms.quantile(0.99);
+  rec.headline["goodput_bps"] = flow.goodput_bps;
+  rec.headline["frames_decoded"] = static_cast<double>(flow.frames_decoded);
+  rec.headline["qdisc_drops"] = static_cast<double>(r.qdisc_drops);
+  rec.headline["events_executed"] = static_cast<double>(r.events_executed);
+  rec.headline["stranded_acks"] = static_cast<double>(r.stranded_acks);
+  return rec;
+}
+
+std::vector<std::string> compare_golden(const GoldenRecord& expected,
+                                        const GoldenRecord& actual) {
+  std::vector<std::string> diffs;
+  if (expected.seed != actual.seed) {
+    diffs.push_back("seed: expected " + std::to_string(expected.seed) +
+                    ", got " + std::to_string(actual.seed));
+  }
+  if (expected.fingerprint != actual.fingerprint) {
+    diffs.push_back("fingerprint: expected " + to_hex16(expected.fingerprint) +
+                    ", got " + to_hex16(actual.fingerprint));
+    // The hash says "something moved"; the headline deltas say what.
+    for (const auto& [key, want] : expected.headline) {
+      const auto it = actual.headline.find(key);
+      if (it == actual.headline.end()) {
+        diffs.push_back("  " + key + ": missing from actual");
+      } else if (it->second != want) {
+        char line[160];
+        std::snprintf(line, sizeof(line), "  %s: expected %.6g, got %.6g",
+                      key.c_str(), want, it->second);
+        diffs.emplace_back(line);
+      }
+    }
+  }
+  return diffs;
+}
+
+Json golden_to_json(const GoldenRecord& rec) {
+  Json j = Json::make_object();
+  j.set("name", Json::make_string(rec.name));
+  j.set("seed", Json::make_number(static_cast<double>(rec.seed)));
+  j.set("fingerprint", Json::make_string(to_hex16(rec.fingerprint)));
+  Json h = Json::make_object();
+  for (const auto& [key, value] : rec.headline) {
+    h.set(key, Json::make_number(value));
+  }
+  j.set("headline", std::move(h));
+  return j;
+}
+
+std::optional<GoldenRecord> golden_from_json(const Json& j, std::string* err) {
+  const auto fail = [err](const char* msg) -> std::optional<GoldenRecord> {
+    if (err != nullptr) *err = msg;
+    return std::nullopt;
+  };
+  if (!j.is_object()) return fail("golden record must be an object");
+  GoldenRecord rec;
+  const Json* name = j.find("name");
+  if (name == nullptr) return fail("golden record missing \"name\"");
+  rec.name = name->string_or("");
+  if (rec.name.empty()) return fail("golden \"name\" must be a string");
+  if (const Json* seed = j.find("seed")) {
+    rec.seed = static_cast<std::uint64_t>(seed->number_or(1));
+  }
+  const Json* fp = j.find("fingerprint");
+  if (fp == nullptr) return fail("golden record missing \"fingerprint\"");
+  const auto parsed = from_hex(fp->string_or(""));
+  if (!parsed.has_value()) return fail("golden \"fingerprint\" must be hex");
+  rec.fingerprint = *parsed;
+  if (const Json* h = j.find("headline"); h != nullptr && h->is_object()) {
+    for (const auto& [key, value] : h->object()) {
+      rec.headline[key] = value.number_or(std::nan(""));
+    }
+  }
+  return rec;
+}
+
+std::optional<GoldenRecord> load_golden_file(const std::string& path,
+                                             std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string perr;
+  const auto j = Json::parse(text, &perr);
+  if (!j.has_value()) {
+    if (err != nullptr) *err = path + ": " + perr;
+    return std::nullopt;
+  }
+  auto rec = golden_from_json(*j, err);
+  if (!rec.has_value() && err != nullptr) *err = path + ": " + *err;
+  return rec;
+}
+
+bool write_golden_file(const std::string& path, const GoldenRecord& rec) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << golden_to_json(rec).dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace zhuge::app

@@ -1,0 +1,66 @@
+#pragma once
+// Golden-trace regression records.
+//
+// A golden record pins the full 64-bit result fingerprint (see
+// sweep::result_fingerprint) of a canonical scenario at a fixed seed,
+// plus a handful of headline metrics. The fingerprint catches ANY
+// behavioural drift — one packet scheduled one microsecond differently
+// anywhere in the stack changes the hash — while the stored headline
+// metrics let the drift report say what moved, not just that something
+// did. Records live in tests/golden/*.json and are refreshed with
+// `scenario_run --update-golden` when a change is intentional.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/spec.hpp"
+#include "app/sweep.hpp"
+
+namespace zhuge::app {
+
+/// One pinned scenario outcome.
+struct GoldenRecord {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::uint64_t fingerprint = 0;
+  /// Headline metrics captured when the record was made (diagnostics for
+  /// drift reports; the fingerprint alone decides pass/fail).
+  std::map<std::string, double> headline;
+};
+
+/// Names of the canonical golden scenarios:
+///   rtp_zhuge_single — one RTP/GCC flow through a Zhuge AP, MCS-7 Wi-Fi
+///   tcp_mix          — TCP/BBR RTC flow + 2 CUBIC bulk competitors
+///   chaos_burst      — RTP/Zhuge under a 3 s Gilbert-Elliott WAN burst
+[[nodiscard]] std::vector<std::string> golden_scenario_names();
+
+/// The canonical config behind a name; nullopt for unknown names.
+[[nodiscard]] std::optional<ScenarioConfig> golden_scenario_config(
+    const std::string& name);
+
+/// Run a canonical scenario (under an ObsFreeze, so the fingerprint is
+/// what a parallel sweep would produce) and build its record.
+[[nodiscard]] std::optional<GoldenRecord> compute_golden(
+    const std::string& name);
+
+/// Compare two records. Empty result = match; otherwise one
+/// human-readable line per mismatch (fingerprint first, then any
+/// headline metric whose value moved).
+[[nodiscard]] std::vector<std::string> compare_golden(
+    const GoldenRecord& expected, const GoldenRecord& actual);
+
+/// (De)serialisation. Fingerprints are stored as 16-digit hex strings —
+/// a JSON number (double) cannot hold 64 bits exactly.
+[[nodiscard]] Json golden_to_json(const GoldenRecord& rec);
+[[nodiscard]] std::optional<GoldenRecord> golden_from_json(const Json& j,
+                                                           std::string* err);
+[[nodiscard]] std::optional<GoldenRecord> load_golden_file(
+    const std::string& path, std::string* err);
+/// Write a pretty-printed record; returns false on I/O failure.
+[[nodiscard]] bool write_golden_file(const std::string& path,
+                                     const GoldenRecord& rec);
+
+}  // namespace zhuge::app

@@ -580,10 +580,479 @@ ScenarioResult Scenario::run() {
   return std::move(result_);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-station scenario engine
+// ---------------------------------------------------------------------------
+
+/// One live flow of a multi-station run: endpoints plus metric sinks. The
+/// transport endpoints own timer-cancelling destructors, so destroying an
+/// MFlow mid-run (churn departure) leaves no dangling callbacks.
+struct MFlow {
+  FlowEvent ev;
+  FlowId flow;
+
+  std::unique_ptr<transport::RtpSender> rtp_sender;
+  std::unique_ptr<transport::RtpReceiver> rtp_receiver;
+  std::unique_ptr<transport::TcpSender> tcp_sender;
+  std::unique_ptr<transport::TcpReceiver> tcp_receiver;
+  std::unique_ptr<rtc::VideoEncoder> tcp_encoder;
+  std::uint32_t tcp_next_frame = 0;
+  sim::EventId tick_id{};  ///< TCP frame tick; cancelled at departure
+
+  rtc::FrameStats frame_stats;
+  stats::Distribution network_rtt_ms;
+  stats::Distribution downlink_owd_ms;
+  std::uint64_t app_bytes_delivered = 0;  ///< post-warmup
+  std::uint64_t packets_delivered = 0;
+  double last_uplink_owd_ms = 0.0;
+};
+
+/// Everything alive during one multi-station run. Same construction-order
+/// discipline as Scenario: declaration order is destruction-safety order.
+class MultiScenario {
+ public:
+  MultiScenario(const ScenarioSpec& spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed) {
+    build();
+  }
+
+  MultiStationResult run();
+
+ private:
+  void build();
+  void build_station(int index);
+  void arrive(const FlowEvent& ev);
+  void depart(std::uint32_t index);
+  void finalize_flow(MFlow& f);
+  void sample_active();
+  void set_station_mcs(int station, int mcs);
+  void client_send_uplink(int station, Packet p);
+  void server_receive(Packet p);
+  void client_receive(Packet p);
+  void handle_delivery_metrics(const Packet& p, MFlow& f);
+
+  [[nodiscard]] static std::uint32_t station_ip(int station) {
+    return static_cast<std::uint32_t>(100 + station);
+  }
+
+  ScenarioSpec spec_;
+  std::uint64_t seed_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Rng> rng_;           ///< stream 11, like Scenario
+  std::unique_ptr<sim::Rng> scenario_rng_;  ///< stream 23: fade phases
+  net::PacketUidSource uids_;
+
+  std::unique_ptr<wireless::Channel> default_channel_;  ///< unused default link
+  std::vector<std::unique_ptr<wireless::Channel>> down_channels_;
+  std::vector<std::unique_ptr<wireless::Channel>> up_channels_;
+  std::unique_ptr<wireless::Medium> medium_;
+  std::unique_ptr<AccessPoint> ap_;
+  std::unique_ptr<net::PointToPointLink> wan_down_;
+  std::unique_ptr<net::PointToPointLink> wan_up_;
+
+  /// Per-station client uplink over the shared medium.
+  struct UplinkPath {
+    std::unique_ptr<queue::DropTailFifo> qdisc;
+    std::unique_ptr<wireless::WifiLink> link;
+  };
+  std::vector<UplinkPath> uplinks_;
+
+  std::vector<FlowEvent> schedule_;
+  /// Live flows by schedule index; ordered so end-of-run finalisation walks
+  /// in index order (part of the simulated outcome).
+  std::map<std::uint32_t, std::unique_ptr<MFlow>> active_;
+  std::map<FlowId, std::uint32_t> by_flow_;  ///< downlink 5-tuple -> index
+
+  MultiStationResult result_;
+  TimePoint warmup_end_;
+  TimePoint run_end_;
+  std::uint64_t invariants_at_start_ = 0;
+};
+
+void MultiScenario::build() {
+  rng_ = std::make_unique<sim::Rng>(seed_, 11);
+  scenario_rng_ = std::make_unique<sim::Rng>(seed_, 23);
+  warmup_end_ = TimePoint::zero() + Duration::from_seconds(spec_.warmup_s);
+  run_end_ = TimePoint::zero() + Duration::from_seconds(spec_.duration_s);
+
+  result_.name = spec_.name;
+  result_.seed = seed_;
+
+  const int n_stations = spec_.station_count();
+  default_channel_ = std::make_unique<wireless::Channel>(7);
+  medium_ = std::make_unique<wireless::Medium>(sim_, *rng_,
+                                               wireless::Medium::Config{});
+
+  // AP -> servers wired uplink.
+  net::PointToPointLink::Config wan_cfg;
+  wan_cfg.rate_bps = spec_.wan_rate_mbps * 1e6;
+  wan_cfg.prop_delay = Duration::from_seconds(spec_.wan_one_way_ms / 1e3);
+  wan_up_ = std::make_unique<net::PointToPointLink>(
+      sim_, wan_cfg, [this](Packet p) { server_receive(std::move(p)); });
+
+  AccessPoint::Config apcfg;
+  apcfg.mode = spec_.ap_mode;
+  apcfg.qdisc = QdiscKind::kFifo;  // default link is unused; stations rule
+  apcfg.link = LinkKind::kWifi;
+  ap_ = std::make_unique<AccessPoint>(
+      sim_, *rng_, *default_channel_, *medium_, apcfg,
+      [this](Packet p) { client_receive(std::move(p)); },
+      [this](Packet p) { wan_up_->send(std::move(p)); });
+
+  // Servers -> AP wired downlink.
+  wan_down_ = std::make_unique<net::PointToPointLink>(
+      sim_, wan_cfg, [this](Packet p) { ap_->from_wan(std::move(p)); });
+
+  for (int i = 0; i < n_stations; ++i) build_station(i);
+
+  // Flow schedule: arrivals and mid-run departures, in index order so that
+  // same-timestamp events resolve by the simulator's FIFO tie-break.
+  schedule_ = expand_flow_schedule(spec_, seed_);
+  result_.flows.resize(schedule_.size());
+  for (const auto& ev : schedule_) {
+    auto& slot = result_.flows[ev.index];
+    slot.index = ev.index;
+    slot.kind = ev.kind;
+    slot.station = ev.station;
+    slot.zhuge = ev.zhuge;
+    slot.start_s = ev.start_s;
+    slot.stop_s = ev.stop_s;
+    sim_.schedule_at(TimePoint::zero() + Duration::from_seconds(ev.start_s),
+                     [this, ev] { arrive(ev); });
+    if (ev.stop_s < spec_.duration_s) {
+      sim_.schedule_at(TimePoint::zero() + Duration::from_seconds(ev.stop_s),
+                       [this, idx = ev.index] { depart(idx); });
+    }
+  }
+
+  // Station departures (deassociation): quiesce at leave_s.
+  for (int i = 0; i < n_stations; ++i) {
+    const double leave = spec_.station_group(i).leave_s;
+    if (leave > 0 && leave < spec_.duration_s) {
+      sim_.schedule_at(TimePoint::zero() + Duration::from_seconds(leave),
+                       [this, ip = station_ip(i)] {
+                         ap_->unregister_station(ip);
+                       });
+    }
+  }
+
+  sim_.schedule_after(Duration::millis(100), [this] { sample_active(); });
+  invariants_at_start_ = obs::invariants().total();
+}
+
+void MultiScenario::build_station(int index) {
+  const StationGroupSpec& g = spec_.station_group(index);
+  down_channels_.push_back(std::make_unique<wireless::Channel>(g.mcs));
+  up_channels_.push_back(std::make_unique<wireless::Channel>(g.mcs));
+
+  AccessPoint::StationConfig scfg;
+  scfg.qdisc = g.qdisc;
+  scfg.queue_limit_bytes = g.queue_limit_bytes;
+  ap_->register_station(station_ip(index), *down_channels_.back(), scfg);
+
+  // Client-side uplink path over the same contended medium.
+  UplinkPath up;
+  up.qdisc = std::make_unique<queue::DropTailFifo>(200 * 1500);
+  wireless::WifiLink::Config ul_cfg;
+  ul_cfg.max_agg_packets = 8;  // feedback packets are small and few
+  up.link = std::make_unique<wireless::WifiLink>(
+      sim_, *rng_, *up_channels_.back(), *medium_, *up.qdisc, ul_cfg,
+      [this](Packet p) { ap_->from_client(std::move(p)); });
+  uplinks_.push_back(std::move(up));
+
+  // Square-wave PHY fade. The phase draw comes from scenario_rng_ in
+  // station order at build time, so the channel realisation is identical
+  // across AP modes and flow schedules.
+  if (g.fade.period_s > 0 && g.fade.depth_mcs > 0) {
+    const double phase = scenario_rng_->uniform(0.0, g.fade.period_s);
+    const int high = g.mcs;
+    const int low = std::max(0, g.mcs - g.fade.depth_mcs);
+    const Duration faded_for =
+        Duration::from_seconds(g.fade.period_s * g.fade.duty);
+    const Duration clear_for =
+        Duration::from_seconds(g.fade.period_s * (1.0 - g.fade.duty));
+    struct FadeTick {
+      MultiScenario* s;
+      int station;
+      int high, low;
+      Duration faded_for, clear_for;
+      void operator()(bool faded) const {
+        s->set_station_mcs(station, faded ? low : high);
+        s->sim_.schedule_after(faded ? faded_for : clear_for,
+                               [t = *this, faded] { t(!faded); });
+      }
+    };
+    sim_.schedule_after(
+        Duration::from_seconds(phase),
+        [t = FadeTick{this, index, high, low, faded_for, clear_for}] {
+          t(true);
+        });
+  }
+}
+
+void MultiScenario::set_station_mcs(int station, int mcs) {
+  down_channels_[static_cast<std::size_t>(station)]->set_mcs(mcs);
+  up_channels_[static_cast<std::size_t>(station)]->set_mcs(mcs);
+  ZHUGE_TRACE(sim_.now(), "mstation", "fade", {"station", double(station)},
+              {"mcs", double(mcs)});
+}
+
+void MultiScenario::arrive(const FlowEvent& ev) {
+  auto f = std::make_unique<MFlow>();
+  f->ev = ev;
+  const bool is_rtp = ev.kind == SpecFlowKind::kRtpGcc;
+  f->flow = FlowId{/*src_ip=*/1, station_ip(ev.station),
+                   /*src_port=*/5000,
+                   static_cast<std::uint16_t>(6000 + ev.index % 50000),
+                   is_rtp ? std::uint8_t{17} : std::uint8_t{6}};
+  f->last_uplink_owd_ms = spec_.wan_one_way_ms + 2.0;
+
+  if (ev.zhuge && spec_.ap_mode != ApMode::kNone) {
+    ap_->register_rtc_flow(f->flow);
+  }
+
+  rtc::VideoConfig video;
+  video.fps = ev.fps;
+  video.max_bitrate_bps = ev.max_bitrate_mbps * 1e6;
+  video.start_bitrate_bps =
+      std::min(video.start_bitrate_bps, video.max_bitrate_bps);
+
+  MFlow* fp = f.get();
+  f->frame_stats.set_observer([this](TimePoint capture, TimePoint decode) {
+    if (decode >= warmup_end_) {
+      result_.agg_frame_delay_ms.add((decode - capture).to_millis());
+    }
+  });
+
+  const int station = ev.station;
+  if (is_rtp) {
+    transport::RtpSender::Config scfg;
+    scfg.ssrc = ev.index + 1;
+    scfg.video = video;
+    scfg.gcc.start_rate_bps = video.start_bitrate_bps;
+    scfg.gcc.min_rate_bps = video.min_bitrate_bps;
+    scfg.gcc.max_rate_bps = video.max_bitrate_bps;
+    f->rtp_sender = std::make_unique<transport::RtpSender>(
+        sim_, *rng_, f->flow, scfg, uids_,
+        [this](Packet p) { wan_down_->send(std::move(p)); });
+    transport::RtpReceiver::Config rcfg;
+    rcfg.ssrc = scfg.ssrc;
+    f->rtp_receiver = std::make_unique<transport::RtpReceiver>(
+        sim_, rcfg, uids_,
+        [this, station](Packet p) { client_send_uplink(station, std::move(p)); },
+        f->frame_stats);
+    f->rtp_sender->start();
+  } else {
+    transport::TcpSender::Config scfg;
+    auto cca = ev.kind == SpecFlowKind::kTcpCubic
+                   ? std::unique_ptr<cca::CongestionControl>(
+                         std::make_unique<cca::Cubic>())
+                   : std::unique_ptr<cca::CongestionControl>(
+                         std::make_unique<cca::Bbr>());
+    f->tcp_sender = std::make_unique<transport::TcpSender>(
+        sim_, f->flow, std::move(cca), scfg, uids_,
+        [this](Packet p) { wan_down_->send(std::move(p)); });
+    f->tcp_sender->set_rtt_observer([this, fp](Duration rtt, TimePoint now) {
+      if (now >= warmup_end_) {
+        fp->network_rtt_ms.add(rtt.to_millis());
+        result_.agg_network_rtt_ms.add(rtt.to_millis());
+      }
+    });
+    f->tcp_encoder = std::make_unique<rtc::VideoEncoder>(video, *rng_);
+    transport::TcpReceiver::Config rcfg;
+    f->tcp_receiver = std::make_unique<transport::TcpReceiver>(
+        sim_, rcfg, uids_,
+        [this, station](Packet p) { client_send_uplink(station, std::move(p)); },
+        [fp](std::uint32_t, TimePoint capture, TimePoint now) {
+          fp->frame_stats.on_frame_decoded(capture, now);
+        });
+
+    // Video-over-TCP frame tick (same backlog-limited source as Scenario's).
+    struct FrameTick {
+      MultiScenario* s;
+      MFlow* f;
+      void operator()() const {
+        auto& sender = *f->tcp_sender;
+        const double hint =
+            std::max(sender.congestion_control().pacing_rate_bps() * 0.85,
+                     sender.delivery_rate_bps(s->sim_.now()) * 0.95);
+        const double target =
+            hint > 0 ? hint : f->tcp_encoder->encoder_rate_bps();
+        const std::uint64_t bytes = f->tcp_encoder->next_frame_bytes(target);
+        const double backlog_limit =
+            std::max(f->tcp_encoder->encoder_rate_bps(), 1e5) * 0.10 / 8.0;
+        if (static_cast<double>(sender.backlog_bytes()) < backlog_limit) {
+          sender.write_frame(f->tcp_next_frame++, s->sim_.now(), bytes);
+        }
+        f->tick_id = s->sim_.schedule_after(f->tcp_encoder->frame_interval(),
+                                            [t = *this] { t(); });
+      }
+    };
+    f->tick_id = sim_.schedule_after(Duration::millis(1),
+                                     [t = FrameTick{this, fp}] { t(); });
+  }
+
+  by_flow_[f->flow] = ev.index;
+  active_[ev.index] = std::move(f);
+  ++result_.arrivals;
+  ZHUGE_METRIC_INC("mstation.arrivals");
+  ZHUGE_TRACE(sim_.now(), "mstation", "arrive", {"flow", double(ev.index)},
+              {"station", double(ev.station)});
+}
+
+void MultiScenario::depart(std::uint32_t index) {
+  const auto it = active_.find(index);
+  if (it == active_.end()) return;
+  MFlow& f = *it->second;
+  sim_.cancel(f.tick_id);
+  // Flush any feedback Zhuge still holds for the flow before its endpoints
+  // disappear (the AckScheduler drains through the uplink handler, which
+  // demuxes to a dead flow and counts as late -- matching a real AP that
+  // releases buffered ACKs after the TCP connection closed).
+  ap_->unregister_rtc_flow(f.flow);
+  finalize_flow(f);
+  by_flow_.erase(f.flow);
+  active_.erase(it);
+  ++result_.departures;
+  ZHUGE_METRIC_INC("mstation.departures");
+  ZHUGE_TRACE(sim_.now(), "mstation", "depart", {"flow", double(index)});
+}
+
+void MultiScenario::finalize_flow(MFlow& f) {
+  MultiFlowResult& fr = result_.flows[f.ev.index];
+  fr.network_rtt_ms = std::move(f.network_rtt_ms);
+  fr.downlink_owd_ms = std::move(f.downlink_owd_ms);
+  fr.frame_delay_ms = f.frame_stats.frame_delays_ms();
+  fr.frames_decoded = f.frame_stats.frames_decoded();
+  fr.frames_sent =
+      f.rtp_sender ? f.rtp_sender->frames_sent() : f.tcp_next_frame;
+  fr.packets_delivered = f.packets_delivered;
+  const double lo = std::max(f.ev.start_s, spec_.warmup_s);
+  const double hi = std::min(f.ev.stop_s, spec_.duration_s);
+  fr.goodput_bps =
+      hi > lo ? static_cast<double>(f.app_bytes_delivered) * 8.0 / (hi - lo)
+              : 0.0;
+}
+
+void MultiScenario::sample_active() {
+  result_.active_flows.record(sim_.now(), static_cast<double>(active_.size()));
+  ZHUGE_METRIC_SET("mstation.active_flows", double(active_.size()));
+  sim_.schedule_after(Duration::millis(100), [this] { sample_active(); });
+}
+
+void MultiScenario::client_send_uplink(int station, Packet p) {
+  uplinks_[static_cast<std::size_t>(station)].link->offer(std::move(p));
+}
+
+void MultiScenario::server_receive(Packet p) {
+  const auto it = by_flow_.find(p.flow.reversed());
+  if (it == by_flow_.end()) {
+    ++result_.late_packets;
+    return;
+  }
+  MFlow& f = *active_.at(it->second);
+  const double owd = (sim_.now() - p.sent_time).to_millis();
+  if (owd > 0 && owd < 10e3) f.last_uplink_owd_ms = owd;
+  if (f.rtp_sender && p.is_rtcp()) {
+    f.rtp_sender->on_rtcp(p);
+  } else if (f.tcp_sender && p.is_tcp()) {
+    f.tcp_sender->on_ack(p);
+  }
+}
+
+void MultiScenario::handle_delivery_metrics(const Packet& p, MFlow& f) {
+  const TimePoint now = sim_.now();
+  ++f.packets_delivered;
+  if (now < warmup_end_) return;
+  const double down_ms = (now - p.sent_time).to_millis();
+  f.downlink_owd_ms.add(down_ms);
+  f.app_bytes_delivered += p.size_bytes;
+  if (f.rtp_sender != nullptr) {
+    // RTP network RTT: downlink OWD plus the latest measured uplink OWD
+    // (TCP flows record sender-side RTT samples instead).
+    const double rtt_ms = down_ms + f.last_uplink_owd_ms;
+    f.network_rtt_ms.add(rtt_ms);
+    result_.agg_network_rtt_ms.add(rtt_ms);
+  }
+  if (p.predicted_delay_ms >= 0.0) {
+    const double actual_ms = (now - p.ap_enqueue_time).to_millis();
+    result_.prediction_error_ms.add(std::abs(p.predicted_delay_ms - actual_ms));
+  }
+}
+
+void MultiScenario::client_receive(Packet p) {
+  const auto it = by_flow_.find(p.flow);
+  if (it == by_flow_.end()) {
+    ++result_.late_packets;
+    return;
+  }
+  MFlow& f = *active_.at(it->second);
+  handle_delivery_metrics(p, f);
+  if (f.rtp_receiver && p.is_rtp()) {
+    f.rtp_receiver->on_rtp(p);
+  } else if (f.tcp_receiver && p.is_tcp()) {
+    f.tcp_receiver->on_data(p);
+  }
+}
+
+MultiStationResult MultiScenario::run() {
+  sim_.run_until(run_end_);
+
+  // Drain held feedback while the topology is still alive, then finalise
+  // the flows that ran to the end of the simulation.
+  result_.flushed_acks_at_end = ap_->flush_feedback();
+  result_.stranded_acks = ap_->pending_feedback();
+  result_.robustness = ap_->robustness();
+  for (auto& [idx, f] : active_) {
+    sim_.cancel(f->tick_id);
+    finalize_flow(*f);
+  }
+
+  const int n_stations = spec_.station_count();
+  for (int i = 0; i < n_stations; ++i) {
+    StationResult sr;
+    if (auto* link = ap_->station_link(station_ip(i)); link != nullptr) {
+      sr.airtime_s = link->airtime_used().to_seconds();
+      sr.qdisc_drops = link->qdisc().drops();
+      sr.delivered_packets = link->delivered_packets();
+      result_.qdisc_drops += sr.qdisc_drops;
+    }
+    result_.stations.push_back(sr);
+  }
+  result_.quiesced_drops = ap_->quiesced_drops();
+  result_.events_executed = sim_.events_executed();
+  result_.invariant_violations =
+      obs::invariants().total() - invariants_at_start_;
+
+  if (obs::metrics_enabled()) {
+    ZHUGE_METRIC_SET("mstation.flows_total", double(result_.flows.size()));
+    ZHUGE_METRIC_SET("mstation.qdisc_drops", double(result_.qdisc_drops));
+    ZHUGE_METRIC_SET("mstation.events_executed",
+                     double(result_.events_executed));
+    if (result_.agg_network_rtt_ms.count() > 0) {
+      ZHUGE_METRIC_SET("mstation.rtt_p50_ms",
+                       result_.agg_network_rtt_ms.quantile(0.5));
+      ZHUGE_METRIC_SET("mstation.rtt_p99_ms",
+                       result_.agg_network_rtt_ms.quantile(0.99));
+    }
+  }
+  return std::move(result_);
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   Scenario s(cfg);
+  return s.run();
+}
+
+MultiStationResult run_multi_station(const ScenarioSpec& spec) {
+  return run_multi_station(spec, spec.seed);
+}
+
+MultiStationResult run_multi_station(const ScenarioSpec& spec,
+                                     std::uint64_t seed) {
+  MultiScenario s(spec, seed);
   return s.run();
 }
 

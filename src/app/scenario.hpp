@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "app/access_point.hpp"
+#include "app/spec.hpp"
 #include "fault/fault.hpp"
 #include "net/packet.hpp"
 #include "rtc/video.hpp"
@@ -94,5 +95,67 @@ struct ScenarioResult {
 
 /// Run one scenario to completion. Deterministic in (config, seed).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Multi-station scenario engine (declarative ScenarioSpec workloads)
+// ---------------------------------------------------------------------------
+
+/// Per-flow outputs of a multi-station run, in schedule order. Flows that
+/// never delivered anything keep empty distributions.
+struct MultiFlowResult {
+  std::uint32_t index = 0;
+  SpecFlowKind kind = SpecFlowKind::kRtpGcc;
+  int station = 0;
+  bool zhuge = false;
+  double start_s = 0.0;
+  double stop_s = 0.0;
+  stats::Distribution network_rtt_ms;   ///< post-warmup
+  stats::Distribution downlink_owd_ms;
+  stats::Distribution frame_delay_ms;
+  double goodput_bps = 0.0;             ///< over the flow's post-warmup window
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t packets_delivered = 0;
+};
+
+/// Per-station outputs (downlink side).
+struct StationResult {
+  double airtime_s = 0.0;           ///< medium airtime this station's AMPDUs used
+  std::uint64_t qdisc_drops = 0;
+  std::uint64_t delivered_packets = 0;
+};
+
+/// Everything a multi-station run produces. Numeric fields feed
+/// sweep::multi_result_fingerprint, so every one of them is part of the
+/// bit-identity contract.
+struct MultiStationResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<MultiFlowResult> flows;     ///< one per scheduled flow
+  std::vector<StationResult> stations;    ///< station index order
+  stats::Distribution agg_network_rtt_ms; ///< all flows, post-warmup
+  stats::Distribution agg_frame_delay_ms;
+  stats::Distribution prediction_error_ms;
+  stats::TimeSeries active_flows;         ///< concurrency, sampled 100 ms
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;           ///< mid-run departures only
+  std::uint64_t late_packets = 0;         ///< arrived after their flow left
+  std::uint64_t qdisc_drops = 0;          ///< sum over stations
+  std::uint64_t quiesced_drops = 0;       ///< black-holed at left stations
+  std::uint64_t events_executed = 0;
+  std::uint64_t flushed_acks_at_end = 0;
+  std::uint64_t stranded_acks = 0;
+  std::uint64_t invariant_violations = 0;
+  AccessPoint::RobustnessStats robustness{};
+};
+
+/// Run a multi-station spec to completion with its embedded seed.
+/// Deterministic in (spec, seed): same spec + same seed => bit-identical
+/// MultiStationResult on any platform.
+[[nodiscard]] MultiStationResult run_multi_station(const ScenarioSpec& spec);
+
+/// Same, overriding the spec's seed (sweeps across seeds).
+[[nodiscard]] MultiStationResult run_multi_station(const ScenarioSpec& spec,
+                                                   std::uint64_t seed);
 
 }  // namespace zhuge::app

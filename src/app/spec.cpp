@@ -1,0 +1,611 @@
+#include "app/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/random.hpp"
+
+namespace zhuge::app {
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+Json Json::make_bool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.b_ = b;
+  return j;
+}
+
+Json Json::make_number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::make_string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::make_array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::make_object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  kind_ = Kind::kObject;
+  obj_[key] = std::move(v);
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  kind_ = Kind::kArray;
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  // %.17g round-trips every finite double; integers print without a dot.
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += b_ ? "true" : "false"; return;
+    case Kind::kNumber: append_number(out, num_); return;
+    case Kind::kString: append_escaped(out, str_); return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        append_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        append_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        out += ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the JSON subset. Tracks line numbers for
+/// the same path:line diagnostics the trace readers emit.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* err) {
+    std::optional<Json> v = parse_value();
+    if (v.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing content after document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && err != nullptr) *err = error_;
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::string error_;
+
+  void fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = "line " + std::to_string(line_) + ": " + msg;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char expected) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.has_value()) return std::nullopt;
+      return Json::make_string(std::move(*s));
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json{};
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json::make_bool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json::make_bool(false);
+    }
+    return parse_number();
+  }
+
+  std::optional<Json> parse_number() {
+    // JSON grammar checks from_chars is laxer about: the integer part is
+    // mandatory (no ".5"), and a leading zero may not be followed by
+    // another digit (no "01").
+    std::size_t p = pos_;
+    if (p < text_.size() && text_[p] == '-') ++p;
+    const auto is_digit = [this](std::size_t i) {
+      return i < text_.size() && text_[i] >= '0' && text_[i] <= '9';
+    };
+    if (!is_digit(p) || (text_[p] == '0' && is_digit(p + 1))) {
+      fail("invalid value");
+      return std::nullopt;
+    }
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double v = 0.0;
+    // from_chars: locale-independent, exact round-trip.
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr == begin) {
+      fail("invalid value");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return Json::make_number(v);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default:
+          fail(std::string("unsupported escape \\") + esc);
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_array() {
+    consume('[');
+    Json arr = Json::make_array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      auto v = parse_value();
+      if (!v.has_value()) return std::nullopt;
+      arr.push(std::move(*v));
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    consume('{');
+    Json obj = Json::make_object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      auto v = parse_value();
+      if (!v.has_value()) return std::nullopt;
+      obj.set(std::move(*key), std::move(*v));
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* err) {
+  return JsonParser(text).run(err);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+const char* to_string(SpecFlowKind kind) {
+  switch (kind) {
+    case SpecFlowKind::kRtpGcc: return "rtp_gcc";
+    case SpecFlowKind::kTcpCubic: return "tcp_cubic";
+    case SpecFlowKind::kTcpBbr: return "tcp_bbr";
+  }
+  return "?";
+}
+
+int ScenarioSpec::station_count() const {
+  int n = 0;
+  for (const auto& g : stations) n += g.count;
+  return n;
+}
+
+const StationGroupSpec& ScenarioSpec::station_group(int station) const {
+  for (const auto& g : stations) {
+    if (station < g.count) return g;
+    station -= g.count;
+  }
+  return stations.back();
+}
+
+namespace {
+
+bool parse_flow_kind(const std::string& s, SpecFlowKind& out) {
+  if (s == "rtp_gcc") out = SpecFlowKind::kRtpGcc;
+  else if (s == "tcp_cubic") out = SpecFlowKind::kTcpCubic;
+  else if (s == "tcp_bbr") out = SpecFlowKind::kTcpBbr;
+  else return false;
+  return true;
+}
+
+bool parse_qdisc_kind(const std::string& s, QdiscKind& out) {
+  if (s == "fifo") out = QdiscKind::kFifo;
+  else if (s == "codel") out = QdiscKind::kCoDel;
+  else if (s == "fq_codel") out = QdiscKind::kFqCoDel;
+  else return false;
+  return true;
+}
+
+bool parse_ap_mode(const std::string& s, ApMode& out) {
+  if (s == "none") out = ApMode::kNone;
+  else if (s == "zhuge") out = ApMode::kZhuge;
+  else if (s == "fastack") out = ApMode::kFastAck;
+  else return false;  // abc needs sender-side changes; not spec-schedulable
+  return true;
+}
+
+double num_field(const Json& obj, const char* key, double fallback) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->number_or(fallback) : fallback;
+}
+
+bool bool_field(const Json& obj, const char* key, bool fallback) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->bool_or(fallback) : fallback;
+}
+
+std::string str_field(const Json& obj, const char* key, std::string fallback) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->string_or(std::move(fallback)) : fallback;
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> parse_scenario_spec(std::string_view text,
+                                                std::string* err) {
+  auto fail = [err](const std::string& msg) -> std::optional<ScenarioSpec> {
+    if (err != nullptr) *err = msg;
+    return std::nullopt;
+  };
+
+  std::string jerr;
+  const auto doc = Json::parse(text, &jerr);
+  if (!doc.has_value()) return fail(jerr);
+  if (!doc->is_object()) return fail("spec must be a JSON object");
+
+  ScenarioSpec spec;
+  spec.name = str_field(*doc, "name", spec.name);
+  spec.duration_s = num_field(*doc, "duration_s", spec.duration_s);
+  spec.warmup_s = num_field(*doc, "warmup_s", spec.warmup_s);
+  spec.seed = static_cast<std::uint64_t>(
+      num_field(*doc, "seed", static_cast<double>(spec.seed)));
+  if (spec.duration_s <= 0) return fail("duration_s must be > 0");
+  if (spec.warmup_s < 0 || spec.warmup_s >= spec.duration_s) {
+    return fail("warmup_s must be in [0, duration_s)");
+  }
+
+  if (!parse_ap_mode(str_field(*doc, "ap_mode", "zhuge"), spec.ap_mode)) {
+    return fail("ap_mode must be none|zhuge|fastack");
+  }
+  spec.wan_one_way_ms = num_field(*doc, "wan_one_way_ms", spec.wan_one_way_ms);
+  spec.wan_rate_mbps = num_field(*doc, "wan_rate_mbps", spec.wan_rate_mbps);
+  if (spec.wan_one_way_ms < 0 || spec.wan_rate_mbps <= 0) {
+    return fail("wan_one_way_ms must be >= 0 and wan_rate_mbps > 0");
+  }
+
+  const Json* stations = doc->find("stations");
+  if (stations == nullptr || !stations->is_array() ||
+      stations->array().empty()) {
+    return fail("spec needs a non-empty \"stations\" array");
+  }
+  for (const auto& sj : stations->array()) {
+    StationGroupSpec g;
+    g.count = static_cast<int>(num_field(sj, "count", 1));
+    g.mcs = static_cast<int>(num_field(sj, "mcs", 7));
+    if (g.count < 1) return fail("stations[].count must be >= 1");
+    if (g.mcs < 0 || g.mcs > 7) return fail("stations[].mcs must be 0..7");
+    if (!parse_qdisc_kind(str_field(sj, "qdisc", "fifo"), g.qdisc)) {
+      return fail("stations[].qdisc must be fifo|codel|fq_codel");
+    }
+    g.queue_limit_bytes = static_cast<std::int64_t>(
+        num_field(sj, "queue_limit_pkts", 300.0) * 1500.0);
+    g.leave_s = num_field(sj, "leave_s", -1.0);
+    if (const Json* fade = sj.find("fade"); fade != nullptr) {
+      g.fade.period_s = num_field(*fade, "period_s", 0.0);
+      g.fade.depth_mcs = static_cast<int>(num_field(*fade, "depth_mcs", 0));
+      g.fade.duty = num_field(*fade, "duty", 0.5);
+      if (g.fade.period_s < 0 || g.fade.duty < 0 || g.fade.duty > 1) {
+        return fail("stations[].fade: period_s >= 0, duty in [0,1]");
+      }
+    }
+    spec.stations.push_back(g);
+  }
+  const int n_stations = spec.station_count();
+
+  if (const Json* flows = doc->find("flows"); flows != nullptr) {
+    if (!flows->is_array()) return fail("\"flows\" must be an array");
+    for (const auto& fj : flows->array()) {
+      SpecFlow f;
+      if (!parse_flow_kind(str_field(fj, "kind", "rtp_gcc"), f.kind)) {
+        return fail("flows[].kind must be rtp_gcc|tcp_cubic|tcp_bbr");
+      }
+      f.station = static_cast<int>(num_field(fj, "station", 0));
+      if (f.station < 0 || f.station >= n_stations) {
+        return fail("flows[].station out of range");
+      }
+      f.zhuge = bool_field(fj, "zhuge", false);
+      f.start_s = num_field(fj, "start_s", 0.0);
+      f.stop_s = num_field(fj, "stop_s", -1.0);
+      f.max_bitrate_mbps = num_field(fj, "max_bitrate_mbps", 2.5);
+      f.fps = num_field(fj, "fps", 30.0);
+      spec.flows.push_back(f);
+    }
+  }
+
+  if (const Json* churn = doc->find("churn"); churn != nullptr) {
+    ChurnSpec& c = spec.churn;
+    c.enabled = bool_field(*churn, "enabled", true);
+    c.mean_interarrival_s =
+        num_field(*churn, "mean_interarrival_s", c.mean_interarrival_s);
+    c.mean_lifetime_s = num_field(*churn, "mean_lifetime_s", c.mean_lifetime_s);
+    c.max_lifetime_s = num_field(*churn, "max_lifetime_s", c.max_lifetime_s);
+    c.max_concurrent =
+        static_cast<int>(num_field(*churn, "max_concurrent", c.max_concurrent));
+    if (c.mean_interarrival_s <= 0 || c.mean_lifetime_s <= 0 ||
+        c.max_concurrent < 1) {
+      return fail("churn: interarrival/lifetime > 0, max_concurrent >= 1");
+    }
+    c.mix_rtp_gcc = num_field(*churn, "mix_rtp_gcc", c.mix_rtp_gcc);
+    c.mix_tcp_cubic = num_field(*churn, "mix_tcp_cubic", c.mix_tcp_cubic);
+    c.mix_tcp_bbr = num_field(*churn, "mix_tcp_bbr", c.mix_tcp_bbr);
+    if (c.mix_rtp_gcc < 0 || c.mix_tcp_cubic < 0 || c.mix_tcp_bbr < 0 ||
+        c.mix_rtp_gcc + c.mix_tcp_cubic + c.mix_tcp_bbr <= 0) {
+      return fail("churn mix_* weights must be >= 0 and sum to > 0");
+    }
+    c.zhuge_fraction = num_field(*churn, "zhuge_fraction", c.zhuge_fraction);
+    c.start_s = num_field(*churn, "start_s", 0.0);
+    c.stop_s = num_field(*churn, "stop_s", -1.0);
+    c.max_bitrate_mbps = num_field(*churn, "max_bitrate_mbps", 2.5);
+    c.fps = num_field(*churn, "fps", 30.0);
+  }
+
+  return spec;
+}
+
+std::optional<ScenarioSpec> load_scenario_spec(const std::string& path,
+                                               std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto spec = parse_scenario_spec(ss.str(), err);
+  if (!spec.has_value() && err != nullptr) *err = path + ": " + *err;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule expansion
+// ---------------------------------------------------------------------------
+
+std::vector<FlowEvent> expand_flow_schedule(const ScenarioSpec& spec,
+                                            std::uint64_t seed) {
+  std::vector<FlowEvent> out;
+  const double end = spec.duration_s;
+
+  for (const auto& f : spec.flows) {
+    FlowEvent ev;
+    ev.index = static_cast<std::uint32_t>(out.size());
+    ev.kind = f.kind;
+    ev.station = f.station;
+    ev.zhuge = f.zhuge;
+    ev.start_s = std::max(0.0, f.start_s);
+    ev.stop_s = f.stop_s < 0 ? end : std::min(f.stop_s, end);
+    ev.max_bitrate_mbps = f.max_bitrate_mbps;
+    ev.fps = f.fps;
+    if (ev.start_s < ev.stop_s && ev.start_s < end) out.push_back(ev);
+  }
+
+  const ChurnSpec& c = spec.churn;
+  if (!c.enabled) return out;
+
+  // Dedicated substream: the same spec on a different seed gets a different
+  // schedule, and the main scenario RNG (stream 11/23) never shifts.
+  sim::Rng rng(seed, 101);
+  const int n_stations = spec.station_count();
+  const double churn_end = c.stop_s < 0 ? end : std::min(c.stop_s, end);
+  const double w_total = c.mix_rtp_gcc + c.mix_tcp_cubic + c.mix_tcp_bbr;
+
+  // Admitted churn windows, for the concurrency cap.
+  std::vector<std::pair<double, double>> admitted;
+
+  double t = c.start_s;
+  while (true) {
+    // Fixed draw order per arrival; all five draws happen whether or not
+    // the arrival is admitted (see header).
+    t += rng.exponential(c.mean_interarrival_s);
+    const double lifetime =
+        std::min(rng.exponential(c.mean_lifetime_s), c.max_lifetime_s);
+    const double kind_roll = rng.uniform() * w_total;
+    const int station = static_cast<int>(
+        rng.uniform_int(static_cast<std::uint32_t>(n_stations)));
+    const bool zhuge = rng.chance(c.zhuge_fraction);
+    if (t >= churn_end) break;
+
+    int concurrent = 0;
+    for (const auto& [s, e] : admitted) {
+      if (s <= t && t < e) ++concurrent;
+    }
+    if (concurrent >= c.max_concurrent) continue;
+
+    FlowEvent ev;
+    ev.index = static_cast<std::uint32_t>(out.size());
+    ev.kind = kind_roll < c.mix_rtp_gcc ? SpecFlowKind::kRtpGcc
+              : kind_roll < c.mix_rtp_gcc + c.mix_tcp_cubic
+                  ? SpecFlowKind::kTcpCubic
+                  : SpecFlowKind::kTcpBbr;
+    ev.station = station;
+    ev.zhuge = ev.kind == SpecFlowKind::kRtpGcc && zhuge;
+    ev.start_s = t;
+    ev.stop_s = std::min(t + std::max(lifetime, 0.1), end);
+    ev.max_bitrate_mbps = c.max_bitrate_mbps;
+    ev.fps = c.fps;
+    if (ev.start_s < ev.stop_s) {
+      admitted.emplace_back(ev.start_s, ev.stop_s);
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+}  // namespace zhuge::app

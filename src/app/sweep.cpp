@@ -43,7 +43,57 @@ struct Fnv {
   }
 };
 
+/// Run `fn(0..n-1)` on `threads` workers pulling indices from a shared
+/// atomic counter; serial on the calling thread when threads <= 1. Each
+/// index is claimed exactly once, so `fn` needs no internal locking as
+/// long as distinct indices touch distinct state.
+template <typename Fn>
+void run_indexed_pool(std::size_t n, unsigned threads, Fn&& fn) {
+  const std::size_t n_workers = std::min<std::size_t>(std::max(1u, threads), n);
+  if (n_workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Host-time stopwatch for per-run wall_seconds (excluded from
+/// fingerprints; throughput reporting only).
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  // zlint-allow(banned-api): wall-clock measures host throughput only;
+  // wall_seconds is deliberately excluded from result fingerprints.
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
+
+ObsFreeze::ObsFreeze()
+    : metrics_was_(obs::metrics_enabled()),
+      tracing_was_(obs::tracing_enabled()),
+      invariants_was_(obs::invariants_enabled()) {
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::set_invariants_enabled(false);
+}
+
+ObsFreeze::~ObsFreeze() {
+  obs::set_metrics_enabled(metrics_was_);
+  obs::set_tracing_enabled(tracing_was_);
+  obs::set_invariants_enabled(invariants_was_);
+}
 
 std::uint64_t result_fingerprint(const ScenarioResult& r) {
   Fnv f;
@@ -108,19 +158,12 @@ std::vector<SweepRun> run_sweep(std::vector<SweepPoint> grid,
 
   // Freeze the process-global obs state for the duration of the sweep:
   // the registries are shared and unsynchronized, and per-run metrics
-  // must not interleave anyway. Disabling all three switches also makes
-  // a serial sweep observe exactly what a parallel sweep observes (e.g.
+  // must not interleave anyway. Freezing also makes a serial sweep
+  // observe exactly what a parallel sweep observes (e.g.
   // ScenarioResult::invariant_violations reads the global counter).
-  const bool metrics_was = obs::metrics_enabled();
-  const bool tracing_was = obs::tracing_enabled();
-  const bool invariants_was = obs::invariants_enabled();
-  obs::set_metrics_enabled(false);
-  obs::set_tracing_enabled(false);
-  obs::set_invariants_enabled(false);
-
-  const auto run_one = [&grid, &runs](std::size_t i) {
-    // zlint-allow(banned-api): wall-clock measures host throughput only;
-    // wall_seconds is deliberately excluded from result fingerprints.
+  const ObsFreeze freeze;
+  run_indexed_pool(grid.size(), opts.threads, [&grid, &runs](std::size_t i) {
+    // zlint-allow(banned-api): wall-clock throughput probe only.
     const auto t0 = std::chrono::steady_clock::now();
     SweepPoint& p = grid[i];
     p.config.seed = p.seed;
@@ -129,35 +172,8 @@ std::vector<SweepRun> run_sweep(std::vector<SweepPoint> grid,
     out.seed = p.seed;
     out.result = run_scenario(p.config);
     out.fingerprint = result_fingerprint(out.result);
-    out.wall_seconds =
-        // zlint-allow(banned-api): same wall-clock throughput probe as t0.
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-  };
-
-  const std::size_t n_workers =
-      std::min<std::size_t>(std::max(1u, opts.threads), grid.size());
-  if (n_workers <= 1) {
-    for (std::size_t i = 0; i < grid.size(); ++i) run_one(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(n_workers);
-    for (std::size_t w = 0; w < n_workers; ++w) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= grid.size()) return;
-          run_one(i);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
-  }
-
-  obs::set_metrics_enabled(metrics_was);
-  obs::set_tracing_enabled(tracing_was);
-  obs::set_invariants_enabled(invariants_was);
+    out.wall_seconds = wall_since(t0);
+  });
   return runs;
 }
 
@@ -184,6 +200,120 @@ void export_sweep_metrics(const std::vector<SweepRun>& runs,
   registry.counter("sweep.total.runs").inc(runs.size());
   registry.counter("sweep.total.events").inc(total_events);
   registry.gauge("sweep.total.wall_seconds").set(total_wall);
+}
+
+std::uint64_t multi_result_fingerprint(const MultiStationResult& r) {
+  // Field order mirrors the MultiStationResult declaration; every numeric
+  // output participates so the hash IS the bit-identity contract.
+  Fnv f;
+  f.u64(r.seed);
+  f.u64(r.flows.size());
+  for (const auto& flow : r.flows) {
+    f.u64(flow.index);
+    f.u64(static_cast<std::uint64_t>(flow.kind));
+    f.u64(static_cast<std::uint64_t>(flow.station));
+    f.u64(flow.zhuge ? 1 : 0);
+    f.f64(flow.start_s);
+    f.f64(flow.stop_s);
+    f.dist(flow.network_rtt_ms);
+    f.dist(flow.downlink_owd_ms);
+    f.dist(flow.frame_delay_ms);
+    f.f64(flow.goodput_bps);
+    f.u64(flow.frames_sent);
+    f.u64(flow.frames_decoded);
+    f.u64(flow.packets_delivered);
+  }
+  f.u64(r.stations.size());
+  for (const auto& st : r.stations) {
+    f.f64(st.airtime_s);
+    f.u64(st.qdisc_drops);
+    f.u64(st.delivered_packets);
+  }
+  f.dist(r.agg_network_rtt_ms);
+  f.dist(r.agg_frame_delay_ms);
+  f.dist(r.prediction_error_ms);
+  f.series(r.active_flows);
+  f.u64(r.arrivals);
+  f.u64(r.departures);
+  f.u64(r.late_packets);
+  f.u64(r.qdisc_drops);
+  f.u64(r.quiesced_drops);
+  f.u64(r.events_executed);
+  f.u64(r.flushed_acks_at_end);
+  f.u64(r.stranded_acks);
+  f.u64(r.invariant_violations);
+  f.u64(r.robustness.degrades);
+  f.u64(r.robustness.reactivates);
+  f.u64(r.robustness.flushed_acks);
+  f.u64(r.robustness.optimizer_restarts);
+  f.u64(r.robustness.clock_jumps);
+  return f.h;
+}
+
+std::vector<SpecSweepRun> run_spec_sweep(std::vector<SpecSweepPoint> grid,
+                                         const SweepOptions& opts) {
+  std::vector<SpecSweepRun> runs(grid.size());
+  if (grid.empty()) return runs;
+  const ObsFreeze freeze;
+  run_indexed_pool(grid.size(), opts.threads, [&grid, &runs](std::size_t i) {
+    // zlint-allow(banned-api): wall-clock throughput probe only.
+    const auto t0 = std::chrono::steady_clock::now();
+    const SpecSweepPoint& p = grid[i];
+    SpecSweepRun& out = runs[i];
+    out.name = p.name;
+    out.seed = p.seed;
+    out.result = run_multi_station(p.spec, p.seed);
+    out.fingerprint = multi_result_fingerprint(out.result);
+    out.wall_seconds = wall_since(t0);
+  });
+  return runs;
+}
+
+std::vector<SpecSweepPoint> cross_spec_seeds(
+    const ScenarioSpec& spec, const std::vector<std::uint64_t>& seeds) {
+  std::vector<SpecSweepPoint> grid;
+  grid.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    SpecSweepPoint p;
+    p.name = spec.name + "/s" + std::to_string(seed);
+    p.spec = spec;
+    p.seed = seed;
+    grid.push_back(std::move(p));
+  }
+  return grid;
+}
+
+void export_spec_sweep_metrics(const std::vector<SpecSweepRun>& runs,
+                               obs::Registry& registry) {
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+  for (const auto& run : runs) {
+    const std::string base = "mssweep." + run.name + ".";
+    const auto& r = run.result;
+    if (r.agg_network_rtt_ms.count() > 0) {
+      registry.gauge(base + "rtt_p50_ms").set(r.agg_network_rtt_ms.quantile(0.50));
+      registry.gauge(base + "rtt_p99_ms").set(r.agg_network_rtt_ms.quantile(0.99));
+    }
+    if (r.agg_frame_delay_ms.count() > 0) {
+      registry.gauge(base + "frame_delay_p99_ms")
+          .set(r.agg_frame_delay_ms.quantile(0.99));
+    }
+    double peak = 0.0;
+    for (const auto& pt : r.active_flows.points()) peak = std::max(peak, pt.value);
+    registry.gauge(base + "active_flows_peak").set(peak);
+    registry.gauge(base + "wall_seconds").set(run.wall_seconds);
+    registry.counter(base + "events").inc(r.events_executed);
+    registry.counter(base + "arrivals").inc(r.arrivals);
+    registry.counter(base + "departures").inc(r.departures);
+    registry.counter(base + "qdisc_drops").inc(r.qdisc_drops);
+    registry.counter(base + "stranded_acks").inc(r.stranded_acks);
+    registry.counter(base + "invariant_violations").inc(r.invariant_violations);
+    total_events += r.events_executed;
+    total_wall += run.wall_seconds;
+  }
+  registry.counter("mssweep.total.runs").inc(runs.size());
+  registry.counter("mssweep.total.events").inc(total_events);
+  registry.gauge("mssweep.total.wall_seconds").set(total_wall);
 }
 
 }  // namespace zhuge::app

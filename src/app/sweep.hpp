@@ -50,6 +50,26 @@ struct SweepOptions {
   unsigned threads = 1;
 };
 
+/// RAII freeze of the process-global obs switches (metrics, tracing,
+/// invariant counting): all three are forced off at construction and the
+/// previous switch states restored at destruction. Every parallel runner
+/// holds one for the duration of its pool — the registries are shared and
+/// unsynchronized — and anything computing fingerprints (golden records,
+/// tests) holds one so a run observes the same global state serially or
+/// under a pool. Non-copyable, non-movable.
+class ObsFreeze {
+ public:
+  ObsFreeze();
+  ~ObsFreeze();
+  ObsFreeze(const ObsFreeze&) = delete;
+  ObsFreeze& operator=(const ObsFreeze&) = delete;
+
+ private:
+  bool metrics_was_;
+  bool tracing_was_;
+  bool invariants_was_;
+};
+
 /// FNV-1a64 over the bit patterns of every numeric field of `r` —
 /// distributions (count + each sample), time series (t + value), scalar
 /// counters, robustness stats. Two results fingerprint equal iff every
@@ -75,5 +95,50 @@ struct SweepOptions {
 /// `sweep.total.*`. Use obs::write_metrics_file to emit JSON.
 void export_sweep_metrics(const std::vector<SweepRun>& runs,
                           obs::Registry& registry);
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec sweeps (multi-station engine)
+// ---------------------------------------------------------------------------
+
+/// One multi-station grid point: a labelled spec plus the seed to run it
+/// under (`seed` overrides `spec.seed`, mirroring SweepPoint).
+struct SpecSweepPoint {
+  std::string name;
+  ScenarioSpec spec;
+  std::uint64_t seed = 1;
+};
+
+/// Per-run output of a spec sweep; `fingerprint` covers every numeric
+/// field of the MultiStationResult (see multi_result_fingerprint).
+struct SpecSweepRun {
+  std::string name;
+  std::uint64_t seed = 0;
+  MultiStationResult result;
+  std::uint64_t fingerprint = 0;
+  double wall_seconds = 0.0;
+};
+
+/// FNV-1a64 over the bit patterns of every numeric field of `r`: per-flow
+/// and per-station outputs, aggregate distributions, the concurrency
+/// series, and all scalar counters. The golden-trace suite stores these
+/// hashes, so adding a field here intentionally invalidates goldens.
+[[nodiscard]] std::uint64_t multi_result_fingerprint(const MultiStationResult& r);
+
+/// Run every spec grid point (thread pool as run_sweep; obs frozen).
+/// Deterministic per point for any thread count.
+[[nodiscard]] std::vector<SpecSweepRun> run_spec_sweep(
+    std::vector<SpecSweepPoint> grid, const SweepOptions& opts = {});
+
+/// One spec across many seeds, named "<spec.name>/s<seed>".
+[[nodiscard]] std::vector<SpecSweepPoint> cross_spec_seeds(
+    const ScenarioSpec& spec, const std::vector<std::uint64_t>& seeds);
+
+/// Aggregate spec-sweep headline metrics, serially, in grid order:
+/// gauges `mssweep.<name>.{rtt_p50_ms,rtt_p99_ms,frame_delay_p99_ms,
+/// active_flows_peak,wall_seconds}`, counters `mssweep.<name>.{events,
+/// arrivals,departures,qdisc_drops,stranded_acks,invariant_violations}`,
+/// plus `mssweep.total.*`.
+void export_spec_sweep_metrics(const std::vector<SpecSweepRun>& runs,
+                               obs::Registry& registry);
 
 }  // namespace zhuge::app

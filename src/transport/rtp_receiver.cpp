@@ -14,37 +14,34 @@ Packet RtpReceiver::make_rtcp(net::RtcpHeader h) {
   return p;
 }
 
+RtpReceiver::~RtpReceiver() {
+  sim_.cancel(twcc_timer_);
+  sim_.cancel(nack_timer_);
+  sim_.cancel(rr_timer_);
+}
+
 void RtpReceiver::arm_timers() {
-  sim_.schedule_after(cfg_.twcc_interval, [this] {
-    send_twcc();
-    arm_timers_twcc();
-  });
-  sim_.schedule_after(cfg_.nack_retry_interval, [this] {
-    send_nacks();
-    arm_timers_nack();
-  });
-  sim_.schedule_after(cfg_.rr_interval, [this] {
-    send_rr();
-    arm_timers_rr();
-  });
+  arm_timers_twcc();
+  arm_timers_nack();
+  arm_timers_rr();
 }
 
 void RtpReceiver::arm_timers_twcc() {
-  sim_.schedule_after(cfg_.twcc_interval, [this] {
+  twcc_timer_ = sim_.schedule_after(cfg_.twcc_interval, [this] {
     send_twcc();
     arm_timers_twcc();
   });
 }
 
 void RtpReceiver::arm_timers_nack() {
-  sim_.schedule_after(cfg_.nack_retry_interval, [this] {
+  nack_timer_ = sim_.schedule_after(cfg_.nack_retry_interval, [this] {
     send_nacks();
     arm_timers_nack();
   });
 }
 
 void RtpReceiver::arm_timers_rr() {
-  sim_.schedule_after(cfg_.rr_interval, [this] {
+  rr_timer_ = sim_.schedule_after(cfg_.rr_interval, [this] {
     send_rr();
     arm_timers_rr();
   });

@@ -45,6 +45,13 @@ class RtpReceiver {
     arm_timers();
   }
 
+  /// Cancels the three periodic feedback timers so a receiver can be
+  /// destroyed mid-run (flow churn) without dangling callbacks.
+  ~RtpReceiver();
+
+  RtpReceiver(const RtpReceiver&) = delete;
+  RtpReceiver& operator=(const RtpReceiver&) = delete;
+
   /// Process one downlink RTP packet.
   void on_rtp(const Packet& p);
 
@@ -102,6 +109,11 @@ class RtpReceiver {
 
   std::uint64_t packets_received_ = 0;
   std::uint64_t nacks_sent_ = 0;
+
+  // Periodic feedback timers (self-rescheduling; cancelled by the dtor).
+  sim::EventId twcc_timer_{};
+  sim::EventId nack_timer_{};
+  sim::EventId rr_timer_{};
 };
 
 }  // namespace zhuge::transport

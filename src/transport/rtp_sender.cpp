@@ -17,6 +17,11 @@ RtpSender::RtpSender(sim::Simulator& simulator, sim::Rng& rng, net::FlowId flow,
       nada_(cfg.nada),
       scream_(cfg.scream) {}
 
+RtpSender::~RtpSender() {
+  sim_.cancel(frame_timer_);
+  for (const sim::EventId id : pacing_timers_) sim_.cancel(id);
+}
+
 void RtpSender::start() { on_frame_tick(); }
 
 double RtpSender::target_rate_bps() const {
@@ -29,6 +34,9 @@ double RtpSender::target_rate_bps() const {
 }
 
 void RtpSender::on_frame_tick() {
+  // All of the previous frame's paced sends have fired (their offsets are
+  // clamped strictly below the frame interval), so drop the stale ids.
+  pacing_timers_.clear();
   const TimePoint capture = sim_.now();
   const std::uint64_t frame_bytes = encoder_.next_frame_bytes(target_rate_bps());
   const std::uint32_t frame_id = next_frame_id_++;
@@ -59,15 +67,19 @@ void RtpSender::on_frame_tick() {
     p.header = h;
 
     // Spread the frame's packets over a short pacing span (senders burst
-    // frames out quickly to minimise latency, §3.1).
+    // frames out quickly to minimise latency, §3.1). Clamp the span below
+    // the frame interval so paced sends never outlive the tick that
+    // scheduled them (keeps pacing_timers_ bookkeeping one frame deep).
+    const Duration span = std::min(cfg_.pacing_span, encoder_.frame_interval());
     const Duration offset =
-        n_packets > 1 ? cfg_.pacing_span * (static_cast<double>(i) /
-                                            static_cast<double>(n_packets))
+        n_packets > 1 ? span * (static_cast<double>(i) /
+                                static_cast<double>(n_packets))
                       : Duration::zero();
     send_packet(std::move(p), offset);
   }
 
-  sim_.schedule_after(encoder_.frame_interval(), [this] { on_frame_tick(); });
+  frame_timer_ =
+      sim_.schedule_after(encoder_.frame_interval(), [this] { on_frame_tick(); });
 }
 
 void RtpSender::send_packet(Packet p, Duration offset) {
@@ -95,10 +107,11 @@ void RtpSender::send_packet(Packet p, Duration offset) {
   if (offset == Duration::zero()) {
     out_(std::move(p));
   } else {
-    sim_.schedule_after(offset, [this, pkt = std::move(p)]() mutable {
-      pkt.sent_time = sim_.now();
-      out_(std::move(pkt));
-    });
+    pacing_timers_.push_back(
+        sim_.schedule_after(offset, [this, pkt = std::move(p)]() mutable {
+          pkt.sent_time = sim_.now();
+          out_(std::move(pkt));
+        }));
   }
 }
 

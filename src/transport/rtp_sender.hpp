@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "cca/gcc.hpp"
 #include "cca/nada.hpp"
@@ -54,6 +55,14 @@ class RtpSender {
 
   RtpSender(sim::Simulator& simulator, sim::Rng& rng, net::FlowId flow,
             Config cfg, net::PacketUidSource& uids, PacketHandler out);
+
+  /// Cancels the frame tick and any still-pending paced sends so a sender
+  /// can be destroyed mid-run (flow churn) without leaving callbacks that
+  /// dangle into freed memory.
+  ~RtpSender();
+
+  RtpSender(const RtpSender&) = delete;
+  RtpSender& operator=(const RtpSender&) = delete;
 
   /// Begin producing frames (call once).
   void start();
@@ -108,6 +117,12 @@ class RtpSender {
   std::map<std::int64_t, Packet> rtp_history_;
   net::SeqUnwrapper rtp_unwrap_rx_;
   std::int64_t rtp_sent_unwrapped_ = -1;
+
+  sim::EventId frame_timer_{};
+  /// Paced sends still pending from the current frame. The pacing span is
+  /// clamped below the frame interval, so every entry has fired by the next
+  /// tick and the vector is cleared there (never grows past one frame).
+  std::vector<sim::EventId> pacing_timers_;
 
   double last_loss_fraction_ = 0.0;
   std::int64_t twcc_loss_base_ = 0;  ///< next expected unwrapped TWCC seq

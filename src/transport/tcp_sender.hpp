@@ -47,6 +47,16 @@ class TcpSender {
         out_(std::move(out)),
         delivered_rate_(Duration::millis(500)) {}
 
+  /// Cancels the RTO and pacing timers so a sender can be destroyed
+  /// mid-run (flow churn) without dangling callbacks.
+  ~TcpSender() {
+    if (rto_timer_ != 0) sim_.cancel(rto_timer_);
+    if (pacing_timer_ != 0) sim_.cancel(pacing_timer_);
+  }
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
   /// Queue one application video frame of `bytes` bytes for transmission.
   void write_frame(std::uint32_t frame_id, TimePoint capture_time, std::uint64_t bytes);
 

@@ -83,6 +83,11 @@ class WifiLink {
   [[nodiscard]] std::uint64_t retry_drops() const { return retry_drops_; }
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_; }
 
+  /// Total medium airtime this link's frames have occupied (per-frame
+  /// overhead included). Per-station airtime accounting for multi-station
+  /// scenarios: summed across links it shows how the CSMA medium was split.
+  [[nodiscard]] Duration airtime_used() const { return airtime_used_; }
+
  private:
   struct Mpdu {
     Packet packet;
@@ -130,6 +135,7 @@ class WifiLink {
     const Duration airtime =
         cfg_.per_frame_overhead +
         Duration::from_seconds(static_cast<double>(bytes) * 8.0 / rate);
+    airtime_used_ = airtime_used_ + airtime;
     ZHUGE_METRIC_INC("wireless.wifi.frames");
     ZHUGE_METRIC_SET("wireless.wifi.rate_bps", rate);
     ZHUGE_METRIC_OBSERVE("wireless.wifi.ampdu_packets",
@@ -187,6 +193,7 @@ class WifiLink {
   bool requesting_ = false;
   std::uint64_t delivered_ = 0;
   std::uint64_t retry_drops_ = 0;
+  Duration airtime_used_ = Duration::zero();
   std::uint64_t frames_ = 0;
 };
 

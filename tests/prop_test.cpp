@@ -1,0 +1,166 @@
+// Randomized invariant tests (tests/prop.hpp harness) for the core
+// primitives whose correctness everything else leans on:
+//  * FortuneTeller Eq. 1 — qSize = max(bytes - maxBurstSize, 0) is never
+//    negative and qLong is monotone in the queue depth;
+//  * SeqUnwrapper — round-trips arbitrary 16-bit walks whose true step
+//    stays within the +-32768 disambiguation window;
+//  * AckScheduler — never reorders held feedback under random hold deltas
+//    and random retreats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ack_scheduler.hpp"
+#include "core/fortune_teller.hpp"
+#include "net/packet.hpp"
+#include "net/seq.hpp"
+#include "prop.hpp"
+#include "sim/simulator.hpp"
+
+namespace zhuge {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_ms(double ms) {
+  return TimePoint::zero() + Duration::from_seconds(ms / 1e3);
+}
+
+// ---------------------------------------------------------------------------
+// FortuneTeller
+// ---------------------------------------------------------------------------
+
+TEST(PropFortuneTeller, QLongNeverNegativeAndClampedByBurst) {
+  prop::for_all([](sim::Rng& rng, int) {
+    core::FortuneTeller teller;
+    double now_ms = 0.0;
+    // Random dequeue history: bursts of 1..4 MPDUs, gaps 0.1..30 ms.
+    const int departures = static_cast<int>(rng.uniform_int(40)) + 1;
+    for (int i = 0; i < departures; ++i) {
+      now_ms += rng.uniform(0.1, 30.0);
+      const int in_burst = static_cast<int>(rng.uniform_int(4)) + 1;
+      for (int k = 0; k < in_burst; ++k) {
+        teller.on_dequeue(static_cast<std::int64_t>(rng.uniform_int(1501)),
+                          at_ms(now_ms), rng.chance(0.2));
+      }
+    }
+    const TimePoint now = at_ms(now_ms + rng.uniform(0.0, 5.0));
+    const std::int64_t queue_bytes =
+        static_cast<std::int64_t>(rng.uniform_int(400'000));
+    const auto pred = teller.predict(now, queue_bytes, std::nullopt);
+    // Eq. 1's max(..., 0): no queue depth may ever predict negative delay.
+    EXPECT_GE(pred.q_long, Duration::zero());
+    EXPECT_GE(pred.total(), Duration::zero());
+    // Bytes at or below maxBurstSize are one aggregate in flight, not
+    // queue build-up: qLong must clamp to exactly zero there.
+    if (queue_bytes <= teller.max_burst_bytes(now)) {
+      EXPECT_EQ(pred.q_long, Duration::zero());
+    }
+  });
+}
+
+TEST(PropFortuneTeller, QLongMonotoneInQueueDepth) {
+  prop::for_all([](sim::Rng& rng, int) {
+    core::FortuneTeller teller;
+    double now_ms = 0.0;
+    const int departures = static_cast<int>(rng.uniform_int(30)) + 5;
+    for (int i = 0; i < departures; ++i) {
+      now_ms += rng.uniform(0.5, 10.0);
+      teller.on_dequeue(static_cast<std::int64_t>(rng.uniform_int(1501)),
+                        at_ms(now_ms), rng.chance(0.3));
+    }
+    const TimePoint now = at_ms(now_ms + 1.0);
+    const auto a = static_cast<std::int64_t>(rng.uniform_int(200'000));
+    const auto b = a + static_cast<std::int64_t>(rng.uniform_int(200'000));
+    // Same teller state, same instant: deeper queue, never smaller qLong.
+    const auto pa = teller.predict(now, a, std::nullopt);
+    const auto pb = teller.predict(now, b, std::nullopt);
+    EXPECT_LE(pa.q_long, pb.q_long)
+        << "qLong(" << a << " B) > qLong(" << b << " B)";
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SeqUnwrapper
+// ---------------------------------------------------------------------------
+
+TEST(PropSeqUnwrapper, RoundTripsRandomWalks) {
+  prop::for_all([](sim::Rng& rng, int) {
+    net::SeqUnwrapper unwrapper;
+    // Anchor anywhere on the wire; the unwrapper adopts the first value.
+    std::int64_t true_seq =
+        static_cast<std::int64_t>(rng.uniform_int(0x10000));
+    ASSERT_EQ(unwrapper.unwrap(static_cast<std::uint16_t>(true_seq)),
+              true_seq);
+    const int steps = static_cast<int>(rng.uniform_int(300)) + 1;
+    for (int i = 0; i < steps; ++i) {
+      // Any step the uint16 disambiguation window can represent:
+      // backward up to 32767 (reordering), forward up to 32768 (loss
+      // bursts; +0x8000 exactly is pinned to forward).
+      const std::int64_t delta =
+          static_cast<std::int64_t>(rng.uniform_int(0x10000)) - 0x7FFF;
+      true_seq += delta;
+      const auto wire = static_cast<std::uint16_t>(true_seq & 0xFFFF);
+      const std::int64_t got = unwrapper.unwrap(wire);
+      ASSERT_EQ(got, true_seq)
+          << "step " << i << " delta " << delta << " wire " << wire;
+      ASSERT_EQ(static_cast<std::uint16_t>(got & 0xFFFF), wire);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// AckScheduler
+// ---------------------------------------------------------------------------
+
+TEST(PropAckScheduler, NeverReordersUnderRandomHoldsAndRetreats) {
+  prop::for_all([](sim::Rng& rng, int) {
+    sim::Simulator sim;
+    std::vector<std::uint64_t> released;
+    core::AckScheduler sched(sim, [&released](net::Packet p) {
+      released.push_back(p.uid);
+    });
+
+    // Random schedule: 1..60 holds at random instants, each held for a
+    // random delta past the previous release (the updater's
+    // order-preserving floor), with random retreats interleaved.
+    const int holds = static_cast<int>(rng.uniform_int(60)) + 1;
+    double t_ms = 0.0;
+    std::uint64_t next_uid = 1;
+    for (int i = 0; i < holds; ++i) {
+      t_ms += rng.uniform(0.0, 8.0);
+      const double hold_ms = rng.uniform(0.0, 50.0);
+      sim.schedule_at(at_ms(t_ms), [&sched, &sim, uid = next_uid, hold_ms] {
+        net::Packet p;
+        p.uid = uid;
+        const TimePoint release = std::max(
+            sched.last_release(sim.now()),
+            sim.now() + Duration::from_seconds(hold_ms / 1e3));
+        sched.hold(std::move(p), release);
+      });
+      ++next_uid;
+      if (rng.chance(0.3)) {
+        const double retreat_ms = rng.uniform(0.0, 30.0);
+        sim.schedule_at(at_ms(t_ms + rng.uniform(0.0, 5.0)),
+                        [&sched, retreat_ms] {
+                          sched.retreat(
+                              Duration::from_seconds(retreat_ms / 1e3));
+                        });
+      }
+    }
+    sim.run_until(at_ms(t_ms + 200.0));
+    sched.flush();
+
+    ASSERT_EQ(released.size(), static_cast<std::size_t>(holds));
+    // Release order must equal hold order — uids were issued 1..N.
+    EXPECT_TRUE(std::is_sorted(released.begin(), released.end()))
+        << "feedback reordered";
+  });
+}
+
+}  // namespace
+}  // namespace zhuge

@@ -1,0 +1,234 @@
+// Tests for the declarative scenario-spec layer: the minimal JSON
+// parser/serialiser, spec validation, and the deterministic flow-schedule
+// expansion (draw-stability under max_concurrent skips included).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "app/spec.hpp"
+#include "prop.hpp"
+
+namespace zhuge::app {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  std::string err;
+  const auto j = Json::parse(
+      R"({"a": 1.5, "b": [true, null, "x\n"], "c": {"d": -3}})", &err);
+  ASSERT_TRUE(j.has_value()) << err;
+  EXPECT_DOUBLE_EQ(j->find("a")->number_or(0), 1.5);
+  const auto& arr = j->find("b")->array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].bool_or(false));
+  EXPECT_EQ(arr[1].kind(), Json::Kind::kNull);
+  EXPECT_EQ(arr[2].string_or(""), "x\n");
+  EXPECT_DOUBLE_EQ(j->find("c")->find("d")->number_or(0), -3.0);
+  EXPECT_EQ(j->find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputWithLineNumbers) {
+  for (const char* bad : {"{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated",
+                          "{\"a\":1} extra", "01", "\"\\u0041\""}) {
+    std::string err;
+    EXPECT_FALSE(Json::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\n  \"a\": 1,\n  !\n}", &err).has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json doc = Json::make_object();
+  doc.set("name", Json::make_string("round \"trip\"\n"));
+  doc.set("value", Json::make_number(0.1));
+  doc.set("count", Json::make_number(48));
+  Json arr = Json::make_array();
+  arr.push(Json::make_bool(true));
+  arr.push(Json::make_number(-2.5e-9));
+  doc.set("items", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    std::string err;
+    const auto back = Json::parse(doc.dump(indent), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->find("name")->string_or(""), "round \"trip\"\n");
+    EXPECT_DOUBLE_EQ(back->find("value")->number_or(0), 0.1);
+    EXPECT_DOUBLE_EQ(back->find("count")->number_or(0), 48.0);
+    EXPECT_DOUBLE_EQ(back->find("items")->array()[1].number_or(0), -2.5e-9);
+  }
+}
+
+TEST(Json, RandomDoublesSurviveRoundTrip) {
+  prop::for_all({.iterations = 100}, [](sim::Rng& rng, int) {
+    const double v = rng.uniform(-1e12, 1e12) *
+                     (rng.chance(0.5) ? 1.0 : 1e-9);
+    Json doc = Json::make_object();
+    doc.set("v", Json::make_number(v));
+    std::string err;
+    const auto back = Json::parse(doc.dump(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    // %.17g + from_chars must round-trip doubles bit-exactly.
+    EXPECT_EQ(back->find("v")->number_or(0), v);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec parsing
+// ---------------------------------------------------------------------------
+
+constexpr const char* kMinimalSpec = R"({
+  "name": "t",
+  "duration_s": 10,
+  "stations": [ { "count": 3, "mcs": 5 } ],
+  "flows": [ { "kind": "rtp_gcc", "station": 2, "zhuge": true } ]
+})";
+
+TEST(ScenarioSpecParse, MinimalSpec) {
+  std::string err;
+  const auto spec = parse_scenario_spec(kMinimalSpec, &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_EQ(spec->name, "t");
+  EXPECT_EQ(spec->station_count(), 3);
+  EXPECT_EQ(spec->station_group(2).mcs, 5);
+  ASSERT_EQ(spec->flows.size(), 1u);
+  EXPECT_EQ(spec->flows[0].kind, SpecFlowKind::kRtpGcc);
+  EXPECT_TRUE(spec->flows[0].zhuge);
+  EXPECT_FALSE(spec->churn.enabled);
+}
+
+TEST(ScenarioSpecParse, RejectsStructuralErrors) {
+  const char* bad[] = {
+      R"({"stations": []})",                                    // no stations
+      R"({"stations": [{"count": 0}]})",                        // bad count
+      R"({"stations": [{"mcs": 9}]})",                          // bad MCS
+      R"({"stations": [{}], "flows": [{"station": 5}]})",       // OOB station
+      R"({"stations": [{}], "flows": [{"kind": "quic"}]})",     // bad kind
+      R"({"stations": [{"qdisc": "red"}]})",                    // bad qdisc
+      R"({"stations": [{}], "ap_mode": "abc"})",                // bad mode
+      R"({"stations": [{}], "duration_s": 0})",                 // bad duration
+      R"({"stations": [{}], "warmup_s": 99})",                  // warmup >= dur
+      R"({"stations": [{}], "churn": {"enabled": true,
+          "mix_rtp_gcc": 0, "mix_tcp_cubic": 0, "mix_tcp_bbr": 0}})",
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(parse_scenario_spec(text, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(ScenarioSpecParse, UnknownKeysIgnoredForwardCompat) {
+  std::string err;
+  const auto spec = parse_scenario_spec(
+      R"({"stations": [{"count": 1, "future_knob": 3}], "new_top": {}})",
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_EQ(spec->station_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// expand_flow_schedule
+// ---------------------------------------------------------------------------
+
+ScenarioSpec churn_spec() {
+  ScenarioSpec spec;
+  spec.duration_s = 40.0;
+  spec.warmup_s = 2.0;
+  spec.stations.push_back(StationGroupSpec{.count = 8});
+  SpecFlow f;
+  f.kind = SpecFlowKind::kTcpCubic;
+  spec.flows.push_back(f);
+  spec.churn.enabled = true;
+  spec.churn.mean_interarrival_s = 0.5;
+  spec.churn.mean_lifetime_s = 5.0;
+  spec.churn.max_concurrent = 6;
+  spec.churn.mix_rtp_gcc = 0.5;
+  spec.churn.mix_tcp_cubic = 0.3;
+  spec.churn.mix_tcp_bbr = 0.2;
+  spec.churn.zhuge_fraction = 0.5;
+  return spec;
+}
+
+TEST(FlowSchedule, DeterministicAndSeedSensitive) {
+  const ScenarioSpec spec = churn_spec();
+  const auto a = expand_flow_schedule(spec, 3);
+  const auto b = expand_flow_schedule(spec, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].station, b[i].station);
+    EXPECT_EQ(a[i].zhuge, b[i].zhuge);
+    EXPECT_EQ(a[i].start_s, b[i].start_s);
+    EXPECT_EQ(a[i].stop_s, b[i].stop_s);
+  }
+  const auto c = expand_flow_schedule(spec, 4);
+  EXPECT_NE(a.size(), 1u);  // churn actually produced arrivals
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].start_s != c[i].start_s;
+  }
+  EXPECT_TRUE(differs) << "seed change produced an identical schedule";
+}
+
+TEST(FlowSchedule, RespectsInvariants) {
+  const ScenarioSpec spec = churn_spec();
+  prop::for_all({.iterations = 25}, [&spec](sim::Rng& rng, int) {
+    const std::uint64_t seed = rng.next_u32();
+    const auto schedule = expand_flow_schedule(spec, seed);
+    ASSERT_FALSE(schedule.empty());
+    std::set<std::uint32_t> indices;
+    for (const auto& ev : schedule) {
+      EXPECT_TRUE(indices.insert(ev.index).second) << "duplicate index";
+      EXPECT_GE(ev.start_s, 0.0);
+      EXPECT_GT(ev.stop_s, ev.start_s);
+      EXPECT_LE(ev.stop_s, spec.duration_s);
+      EXPECT_GE(ev.station, 0);
+      EXPECT_LT(ev.station, spec.station_count());
+      if (ev.kind != SpecFlowKind::kRtpGcc) {
+        EXPECT_FALSE(ev.zhuge);
+      }
+    }
+    // max_concurrent: at every arrival instant, the number of admitted
+    // flows whose window contains it stays within the cap (+1: the
+    // static flow is not subject to the churn cap).
+    for (const auto& ev : schedule) {
+      int live = 0;
+      for (const auto& other : schedule) {
+        if (other.start_s <= ev.start_s && ev.start_s < other.stop_s) ++live;
+      }
+      EXPECT_LE(live, spec.churn.max_concurrent + 1)
+          << "cap violated at t=" << ev.start_s;
+    }
+  });
+}
+
+TEST(FlowSchedule, StaticFlowsComeFirstAndClampToRun) {
+  ScenarioSpec spec;
+  spec.duration_s = 10.0;
+  spec.stations.push_back(StationGroupSpec{.count = 1});
+  SpecFlow f;
+  f.start_s = 2.0;
+  f.stop_s = 99.0;  // clamps to duration
+  spec.flows.push_back(f);
+  SpecFlow g;
+  g.start_s = 4.0;
+  g.stop_s = 6.0;
+  spec.flows.push_back(g);
+  const auto schedule = expand_flow_schedule(spec, 1);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].index, 0u);
+  EXPECT_DOUBLE_EQ(schedule[0].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(schedule[0].stop_s, 10.0);
+  EXPECT_DOUBLE_EQ(schedule[1].stop_s, 6.0);
+}
+
+}  // namespace
+}  // namespace zhuge::app
