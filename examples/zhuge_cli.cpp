@@ -54,7 +54,8 @@ void usage() {
       "  --competitors <n>                       CUBIC bulk flows (default 0)\n"
       "  --interferers <n>                       co-channel APs (default 0)\n"
       "  --seed <n>                              RNG seed (default 1)\n"
-      "  --trace <file> / --metrics <file>       observability output\n");
+      "  --trace <file> / --metrics <file>       observability output\n"
+      "  --attrib                                stamp latency spans into the trace\n");
 }
 
 std::optional<trace::TraceKind> builtin_trace(const std::string& name) {
@@ -79,6 +80,7 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (flag == "--help" || flag == "-h") return false;
     if (flag == "--trace" || flag == "--metrics") value();  // obs::ObsSession's
+    else if (flag == "--attrib") {}  // obs::ObsSession's, no value
     else if (flag == "--channel") opt.channel = value();
     else if (flag == "--protocol") opt.protocol = value();
     else if (flag == "--cca") opt.cca = value();

@@ -111,11 +111,12 @@ std::vector<ChaosCase> standard_chaos_suite(std::uint64_t seed) {
   return suite;
 }
 
-ChaosVerdict run_chaos_case(const ChaosCase& c) {
+ChaosVerdict run_chaos_case(const ChaosCase& c, obs::Attribution* attrib_out) {
   ChaosVerdict v;
   v.name = c.name;
 
   const ScenarioResult r = run_scenario(c.config);
+  if (attrib_out != nullptr) attrib_out->merge(r.attrib);
 
   // Goodput recovery: compare the steady window just before the fault
   // against the window after the fault cleared and the CCA had 2 s to

@@ -55,8 +55,12 @@ struct ChaosVerdict {
 /// end). Deterministic in `seed`.
 [[nodiscard]] std::vector<ChaosCase> standard_chaos_suite(std::uint64_t seed);
 
-/// Run one case and judge it.
-[[nodiscard]] ChaosVerdict run_chaos_case(const ChaosCase& c);
+/// Run one case and judge it. When `attrib_out` is non-null the run's
+/// per-stage latency attribution is merged into it (enable the switch via
+/// obs::set_attrib_enabled first, or the run records nothing) — chaos_run
+/// uses this to build a suite-wide latency-budget report.
+[[nodiscard]] ChaosVerdict run_chaos_case(const ChaosCase& c,
+                                          obs::Attribution* attrib_out = nullptr);
 
 /// One-line human-readable verdict summary.
 [[nodiscard]] std::string format_verdict(const ChaosVerdict& v);

@@ -1,5 +1,6 @@
 #include "app/golden.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -190,6 +191,125 @@ bool write_golden_file(const std::string& path, const GoldenRecord& rec) {
   std::ofstream out(path);
   if (!out) return false;
   out << golden_to_json(rec).dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// Latency-attribution goldens
+// ---------------------------------------------------------------------------
+
+AttribGolden make_attrib_golden(const std::string& name, std::uint64_t seed,
+                                const obs::Attribution& attrib) {
+  AttribGolden rec;
+  rec.name = name;
+  rec.seed = seed;
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const obs::Histogram& h = attrib.all().stage(stage);
+    if (h.count() == 0) continue;
+    rec.stage_p95_us[obs::stage_name(stage)] = h.quantile(0.95);
+  }
+  return rec;
+}
+
+std::vector<std::string> compare_attrib_golden(const AttribGolden& expected,
+                                               const AttribGolden& actual,
+                                               double rel_tol) {
+  std::vector<std::string> diffs;
+  if (expected.seed != actual.seed) {
+    diffs.push_back("seed: expected " + std::to_string(expected.seed) +
+                    ", got " + std::to_string(actual.seed));
+  }
+  const auto close = [rel_tol](double lhs, double rhs) {
+    const double scale = std::max(std::abs(lhs), std::abs(rhs));
+    return std::abs(lhs - rhs) <= rel_tol * std::max(scale, 1.0);
+  };
+  for (const auto& [stage, want] : expected.stage_p95_us) {
+    const auto it = actual.stage_p95_us.find(stage);
+    if (it == actual.stage_p95_us.end()) {
+      diffs.push_back("stage " + stage + ": p95 expected " +
+                      std::to_string(want) + " us, missing from actual");
+    } else if (!close(want, it->second)) {
+      char line[192];
+      // zlint-allow(float-equality): exact zero guard before dividing.
+      const double pct = want != 0.0 ? (it->second - want) / want * 100.0 : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "stage %s: p95 expected %.6g us, got %.6g us (%+.2f%%)",
+                    stage.c_str(), want, it->second, pct);
+      diffs.emplace_back(line);
+    }
+  }
+  for (const auto& [stage, got] : actual.stage_p95_us) {
+    if (!expected.stage_p95_us.contains(stage)) {
+      diffs.push_back("stage " + stage + ": unexpected in actual (p95 " +
+                      std::to_string(got) + " us)");
+    }
+  }
+  return diffs;
+}
+
+Json attrib_golden_to_json(const AttribGolden& rec) {
+  Json j = Json::make_object();
+  j.set("name", Json::make_string(rec.name));
+  j.set("seed", Json::make_number(static_cast<double>(rec.seed)));
+  Json stages = Json::make_object();
+  for (const auto& [stage, p95] : rec.stage_p95_us) {
+    stages.set(stage, Json::make_number(p95));
+  }
+  j.set("stage_p95_us", std::move(stages));
+  return j;
+}
+
+std::optional<AttribGolden> attrib_golden_from_json(const Json& j,
+                                                    std::string* err) {
+  const auto fail = [err](const char* msg) -> std::optional<AttribGolden> {
+    if (err != nullptr) *err = msg;
+    return std::nullopt;
+  };
+  if (!j.is_object()) return fail("attrib golden must be an object");
+  AttribGolden rec;
+  const Json* name = j.find("name");
+  if (name == nullptr) return fail("attrib golden missing \"name\"");
+  rec.name = name->string_or("");
+  if (rec.name.empty()) return fail("attrib golden \"name\" must be a string");
+  if (const Json* seed = j.find("seed")) {
+    rec.seed = static_cast<std::uint64_t>(seed->number_or(1));
+  }
+  const Json* stages = j.find("stage_p95_us");
+  if (stages == nullptr || !stages->is_object()) {
+    return fail("attrib golden missing \"stage_p95_us\" object");
+  }
+  for (const auto& [key, value] : stages->object()) {
+    rec.stage_p95_us[key] = value.number_or(std::nan(""));
+  }
+  return rec;
+}
+
+std::optional<AttribGolden> load_attrib_golden_file(const std::string& path,
+                                                    std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string perr;
+  const auto j = Json::parse(text, &perr);
+  if (!j.has_value()) {
+    if (err != nullptr) *err = path + ": " + perr;
+    return std::nullopt;
+  }
+  auto rec = attrib_golden_from_json(*j, err);
+  if (!rec.has_value() && err != nullptr) *err = path + ": " + *err;
+  return rec;
+}
+
+bool write_attrib_golden_file(const std::string& path,
+                              const AttribGolden& rec) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << attrib_golden_to_json(rec).dump(2) << "\n";
   return static_cast<bool>(out);
 }
 

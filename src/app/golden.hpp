@@ -63,4 +63,38 @@ struct GoldenRecord {
 [[nodiscard]] bool write_golden_file(const std::string& path,
                                      const GoldenRecord& rec);
 
+// ---------------------------------------------------------------------------
+// Latency-attribution goldens
+// ---------------------------------------------------------------------------
+
+/// Pinned per-stage latency profile of a canonical scenario: the aggregate
+/// p95 of every stage that saw traffic, in microseconds. Unlike the full
+/// fingerprint, a drift report here names the *stage* that moved — "air
+/// p95 grew 40%" localises a regression the 64-bit hash can only detect.
+struct AttribGolden {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::map<std::string, double> stage_p95_us;  ///< stage name -> p95 (us)
+};
+
+/// Build the record from a run's attribution aggregate.
+[[nodiscard]] AttribGolden make_attrib_golden(const std::string& name,
+                                              std::uint64_t seed,
+                                              const obs::Attribution& attrib);
+
+/// Compare with relative tolerance (default 1e-6 — the records are
+/// deterministic; the slack only absorbs JSON round-trip rounding). One
+/// human-readable line per drifting stage.
+[[nodiscard]] std::vector<std::string> compare_attrib_golden(
+    const AttribGolden& expected, const AttribGolden& actual,
+    double rel_tol = 1e-6);
+
+[[nodiscard]] Json attrib_golden_to_json(const AttribGolden& rec);
+[[nodiscard]] std::optional<AttribGolden> attrib_golden_from_json(
+    const Json& j, std::string* err);
+[[nodiscard]] std::optional<AttribGolden> load_attrib_golden_file(
+    const std::string& path, std::string* err);
+[[nodiscard]] bool write_attrib_golden_file(const std::string& path,
+                                            const AttribGolden& rec);
+
 }  // namespace zhuge::app

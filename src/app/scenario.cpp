@@ -40,6 +40,7 @@ std::unique_ptr<cca::CongestionControl> make_tcp_cca(TcpCcaKind kind) {
 struct RtcFlow {
   FlowId flow;
   bool optimized = true;
+  std::uint32_t span_key = 0;  ///< attribution flow key (= ssrc = index+1)
   stats::Distribution downlink_owd_ms;
 
   // RTP mode.
@@ -280,6 +281,7 @@ void Scenario::build_rtc_flow(std::size_t index) {
   f->optimized = cfg_.optimize_flow.empty() ? true
                                             : (index < cfg_.optimize_flow.size() &&
                                                cfg_.optimize_flow[index]);
+  f->span_key = static_cast<std::uint32_t>(index + 1);
   f->last_uplink_owd_ms = cfg_.wan_one_way.to_millis() + 2.0;
   if (f->optimized && cfg_.ap.mode != ApMode::kNone) {
     ap_->register_rtc_flow(f->flow);
@@ -293,6 +295,13 @@ void Scenario::build_rtc_flow(std::size_t index) {
       result_.frame_delay_series_ms.record(decode, (decode - capture).to_millis());
     });
   }
+  // Latency attribution: frame spans arrive here from the RTP receiver's
+  // jitter buffer (or synthesised below for TCP-framed video). Post-warmup
+  // only, matching every other distribution this harness records.
+  f->frame_stats.set_span_observer([this, fp](const obs::FrameSpan& s) {
+    if (TimePoint(s.decode_ns) < warmup_end_) return;
+    result_.attrib.record_frame(fp->optimized, s);
+  });
   if (cfg_.protocol == Protocol::kRtp) {
     transport::RtpSender::Config scfg;
     scfg.ssrc = static_cast<std::uint32_t>(index + 1);
@@ -340,8 +349,18 @@ void Scenario::build_rtc_flow(std::size_t index) {
     transport::TcpReceiver::Config rcfg;
     f->tcp_receiver = std::make_unique<transport::TcpReceiver>(
         sim_, rcfg, uids_, [this](Packet p) { client_send_uplink(std::move(p)); },
-        [this, fp](std::uint32_t, TimePoint capture, TimePoint now) {
+        [this, fp](std::uint32_t frame_id, TimePoint capture, TimePoint now) {
           fp->frame_stats.on_frame_decoded(capture, now);
+          if (obs::attrib_enabled()) {
+            // TCP-framed video has no jitter-buffer stages; synthesise the
+            // capture->decode span so frame_e2e still covers these flows.
+            obs::FrameSpan s;
+            s.flow_key = fp->span_key;
+            s.frame_id = frame_id;
+            s.capture_ns = capture.count_ns();
+            s.decode_ns = now.count_ns();
+            fp->frame_stats.on_frame_span(s);
+          }
         });
 
     // Video-over-TCP source: frames at fps tracking the delivery rate;
@@ -480,6 +499,12 @@ void Scenario::handle_delivery_metrics(const Packet& p, RtcFlow& f) {
     if (!is_tcp_flow) f.network_rtt_ms.add(rtt_ms);
     f.downlink_owd_ms.add(down_ms);
     f.app_bytes_delivered += p.size_bytes;
+    if (obs::attrib_enabled()) {
+      result_.attrib.record_packet(f.span_key, f.optimized,
+                                   p.sent_time.count_ns(),
+                                   p.ap_enqueue_time.count_ns(),
+                                   now.count_ns(), p.span);
+    }
     if (p.predicted_delay_ms >= 0.0) {
       const double actual_ms = (now - p.ap_enqueue_time).to_millis();
       result_.prediction_error_ms.add(std::abs(p.predicted_delay_ms - actual_ms));
@@ -823,6 +848,14 @@ void MultiScenario::arrive(const FlowEvent& ev) {
       result_.agg_frame_delay_ms.add((decode - capture).to_millis());
     }
   });
+  // Latency attribution: a flow is "optimized" when the AP actually runs
+  // Zhuge for it, which is what the stage-resolved on/off comparison keys on.
+  const bool span_opt = ev.zhuge && spec_.ap_mode != ApMode::kNone;
+  f->frame_stats.set_span_observer(
+      [this, span_opt](const obs::FrameSpan& s) {
+        if (TimePoint(s.decode_ns) < warmup_end_) return;
+        result_.attrib.record_frame(span_opt, s);
+      });
 
   const int station = ev.station;
   if (is_rtp) {
@@ -863,8 +896,16 @@ void MultiScenario::arrive(const FlowEvent& ev) {
     f->tcp_receiver = std::make_unique<transport::TcpReceiver>(
         sim_, rcfg, uids_,
         [this, station](Packet p) { client_send_uplink(station, std::move(p)); },
-        [fp](std::uint32_t, TimePoint capture, TimePoint now) {
+        [fp](std::uint32_t frame_id, TimePoint capture, TimePoint now) {
           fp->frame_stats.on_frame_decoded(capture, now);
+          if (obs::attrib_enabled()) {
+            obs::FrameSpan s;
+            s.flow_key = fp->ev.index + 1;
+            s.frame_id = frame_id;
+            s.capture_ns = capture.count_ns();
+            s.decode_ns = now.count_ns();
+            fp->frame_stats.on_frame_span(s);
+          }
         });
 
     // Video-over-TCP frame tick (same backlog-limited source as Scenario's).
@@ -977,6 +1018,13 @@ void MultiScenario::handle_delivery_metrics(const Packet& p, MFlow& f) {
   if (p.predicted_delay_ms >= 0.0) {
     const double actual_ms = (now - p.ap_enqueue_time).to_millis();
     result_.prediction_error_ms.add(std::abs(p.predicted_delay_ms - actual_ms));
+  }
+  if (obs::attrib_enabled()) {
+    const bool span_opt = f.ev.zhuge && spec_.ap_mode != ApMode::kNone;
+    result_.attrib.record_packet(f.ev.index + 1, span_opt,
+                                 p.sent_time.count_ns(),
+                                 p.ap_enqueue_time.count_ns(),
+                                 now.count_ns(), p.span);
   }
 }
 

@@ -12,6 +12,7 @@
 #include "app/spec.hpp"
 #include "fault/fault.hpp"
 #include "net/packet.hpp"
+#include "obs/attrib.hpp"
 #include "rtc/video.hpp"
 #include "stats/distribution.hpp"
 #include "stats/timeseries.hpp"
@@ -89,6 +90,11 @@ struct ScenarioResult {
   std::uint64_t stranded_acks = 0;        ///< still held after the drain (bug if > 0)
   std::uint64_t invariant_violations = 0; ///< raised during this run
 
+  /// Per-stage latency attribution (empty unless obs::attrib_enabled()
+  /// during the run). Observability output only: excluded from result
+  /// fingerprints by construction (sweep.cpp never hashes it).
+  obs::Attribution attrib;
+
   /// Flow 0 shorthand.
   [[nodiscard]] const FlowResult& primary() const { return flows.front(); }
 };
@@ -147,6 +153,10 @@ struct MultiStationResult {
   std::uint64_t stranded_acks = 0;
   std::uint64_t invariant_violations = 0;
   AccessPoint::RobustnessStats robustness{};
+
+  /// Per-stage latency attribution (observability only; never hashed by
+  /// sweep::multi_result_fingerprint).
+  obs::Attribution attrib;
 };
 
 /// Run a multi-station spec to completion with its embedded seed.

@@ -86,6 +86,8 @@ void append_escaped(std::string& out, const std::string& s) {
 void append_number(std::string& out, double v) {
   // %.17g round-trips every finite double; integers print without a dot.
   char buf[32];
+  // zlint-allow(float-equality): exact test for "is an integer value" —
+  // the round-trip cast is the idiomatic way to pick the %lld rendering.
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::abs(v) < 1e15) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));

@@ -71,6 +71,8 @@ void run_indexed_pool(std::size_t n, unsigned threads, Fn&& fn) {
 
 /// Host-time stopwatch for per-run wall_seconds (excluded from
 /// fingerprints; throughput reporting only).
+// zlint-allow(banned-api): wall-clock measures host throughput only;
+// wall_seconds is deliberately excluded from result fingerprints.
 double wall_since(std::chrono::steady_clock::time_point t0) {
   // zlint-allow(banned-api): wall-clock measures host throughput only;
   // wall_seconds is deliberately excluded from result fingerprints.
@@ -83,16 +85,19 @@ double wall_since(std::chrono::steady_clock::time_point t0) {
 ObsFreeze::ObsFreeze()
     : metrics_was_(obs::metrics_enabled()),
       tracing_was_(obs::tracing_enabled()),
-      invariants_was_(obs::invariants_enabled()) {
+      invariants_was_(obs::invariants_enabled()),
+      attrib_was_(obs::attrib_enabled()) {
   obs::set_metrics_enabled(false);
   obs::set_tracing_enabled(false);
   obs::set_invariants_enabled(false);
+  obs::set_attrib_enabled(false);
 }
 
 ObsFreeze::~ObsFreeze() {
   obs::set_metrics_enabled(metrics_was_);
   obs::set_tracing_enabled(tracing_was_);
   obs::set_invariants_enabled(invariants_was_);
+  obs::set_attrib_enabled(attrib_was_);
 }
 
 std::uint64_t result_fingerprint(const ScenarioResult& r) {
@@ -162,6 +167,10 @@ std::vector<SweepRun> run_sweep(std::vector<SweepPoint> grid,
   // observe exactly what a parallel sweep observes (e.g.
   // ScenarioResult::invariant_violations reads the global counter).
   const ObsFreeze freeze;
+  // Attribution opt-in: written once before any worker starts and only
+  // read during the pool, so the switch itself is race-free. ObsFreeze's
+  // destructor restores the pre-sweep state on exit.
+  if (opts.attrib) obs::set_attrib_enabled(true);
   run_indexed_pool(grid.size(), opts.threads, [&grid, &runs](std::size_t i) {
     // zlint-allow(banned-api): wall-clock throughput probe only.
     const auto t0 = std::chrono::steady_clock::now();
@@ -255,6 +264,7 @@ std::vector<SpecSweepRun> run_spec_sweep(std::vector<SpecSweepPoint> grid,
   std::vector<SpecSweepRun> runs(grid.size());
   if (grid.empty()) return runs;
   const ObsFreeze freeze;
+  if (opts.attrib) obs::set_attrib_enabled(true);
   run_indexed_pool(grid.size(), opts.threads, [&grid, &runs](std::size_t i) {
     // zlint-allow(banned-api): wall-clock throughput probe only.
     const auto t0 = std::chrono::steady_clock::now();
@@ -308,6 +318,20 @@ void export_spec_sweep_metrics(const std::vector<SpecSweepRun>& runs,
     registry.counter(base + "qdisc_drops").inc(r.qdisc_drops);
     registry.counter(base + "stranded_acks").inc(r.stranded_acks);
     registry.counter(base + "invariant_violations").inc(r.invariant_violations);
+    // Per-stage latency columns (attrib sweeps only; empty otherwise).
+    if (!r.attrib.empty()) {
+      for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+        const auto stage = static_cast<obs::Stage>(s);
+        const obs::Histogram& h = r.attrib.all().stage(stage);
+        if (h.count() == 0) continue;
+        const std::string stage_base =
+            base + "stage." + obs::stage_name(stage) + ".";
+        registry.gauge(stage_base + "p50_us").set(h.quantile(0.50));
+        registry.gauge(stage_base + "p95_us").set(h.quantile(0.95));
+        registry.gauge(stage_base + "p99_us").set(h.quantile(0.99));
+        registry.counter(stage_base + "count").inc(h.count());
+      }
+    }
     total_events += r.events_executed;
     total_wall += run.wall_seconds;
   }

@@ -48,6 +48,12 @@ struct SweepRun {
 struct SweepOptions {
   /// Worker threads; 0 or 1 runs the grid serially on the calling thread.
   unsigned threads = 1;
+  /// Enable per-stage latency attribution during the sweep. ObsFreeze
+  /// forces the attrib switch off like every other obs switch; this opt-in
+  /// re-enables it for the pool. Safe under any thread count: the switch
+  /// is written once before workers start, and each run records into its
+  /// own result-local obs::Attribution (no shared mutable state).
+  bool attrib = false;
 };
 
 /// RAII freeze of the process-global obs switches (metrics, tracing,
@@ -68,6 +74,7 @@ class ObsFreeze {
   bool metrics_was_;
   bool tracing_was_;
   bool invariants_was_;
+  bool attrib_was_;
 };
 
 /// FNV-1a64 over the bit patterns of every numeric field of `r` —
@@ -137,7 +144,9 @@ struct SpecSweepRun {
 /// gauges `mssweep.<name>.{rtt_p50_ms,rtt_p99_ms,frame_delay_p99_ms,
 /// active_flows_peak,wall_seconds}`, counters `mssweep.<name>.{events,
 /// arrivals,departures,qdisc_drops,stranded_acks,invariant_violations}`,
-/// plus `mssweep.total.*`.
+/// plus `mssweep.total.*`. Runs that recorded latency attribution
+/// additionally get `mssweep.<name>.stage.<stage>.{p50_us,p95_us,
+/// p99_us,count}` per populated stage.
 void export_spec_sweep_metrics(const std::vector<SpecSweepRun>& runs,
                                obs::Registry& registry);
 

@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/spans.hpp"
 #include "sim/time.hpp"
 
 namespace zhuge::net {
@@ -132,6 +133,7 @@ struct Packet {
   TimePoint head_time;         ///< when the packet became queue head
   TimePoint delivered_time;    ///< arrival at final receiver
   double predicted_delay_ms = -1.0;  ///< Fortune Teller estimate, if any
+  obs::PacketSpan span;        ///< per-stage latency stamps (obs/spans.hpp)
 
   [[nodiscard]] bool is_tcp() const { return std::holds_alternative<TcpHeader>(header); }
   [[nodiscard]] bool is_rtp() const { return std::holds_alternative<RtpHeader>(header); }

@@ -156,12 +156,16 @@ void write_metrics_json(const Registry& registry, std::ostream& out) {
     write_number(out, h.min());
     out << ", \"max\": ";
     write_number(out, h.max());
+    out << ", \"mean\": ";
+    write_number(out, h.mean());
     out << ", \"p50\": ";
     write_number(out, h.quantile(0.50));
     out << ", \"p95\": ";
     write_number(out, h.quantile(0.95));
     out << ", \"p99\": ";
     write_number(out, h.quantile(0.99));
+    out << ", \"p999\": ";
+    write_number(out, h.quantile(0.999));
     out << ", \"buckets\": [";
     bool first_bucket = true;
     for (std::size_t i = 0; i < h.bucket_count(); ++i) {

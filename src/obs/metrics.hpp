@@ -130,6 +130,32 @@ class Histogram {
 
   [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
 
+  /// Fold `other` into this histogram. With identical bucket layouts the
+  /// merge is exact (bucket-wise count addition); with mismatched layouts
+  /// each foreign bucket is re-observed at its lower edge, weighted by its
+  /// count — deterministic, but quantised to this histogram's buckets.
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    // zlint-allow(float-equality): bucket layouts are interchangeable
+    // only when the specs are exactly identical; tolerance would be wrong.
+    const bool same_edges = spec_.lo == other.spec_.lo && spec_.hi == other.spec_.hi;
+    if (counts_.size() == other.counts_.size() && same_edges &&
+        spec_.buckets_per_decade == other.spec_.buckets_per_decade) {
+      for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+        const std::uint64_t n = other.counts_[i];
+        if (n > 0) counts_[bucket_index(other.bucket_lower(i))] += n;
+      }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   HistogramSpec spec_;
   std::size_t n_log_buckets_ = 0;

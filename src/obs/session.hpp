@@ -4,9 +4,12 @@
 //   --trace <file>     enable the event tracer, dump on exit
 //                      (.json = Chrome trace_event, .jsonl, .csv)
 //   --metrics <file>   enable the metrics registry, dump JSON on exit
-// and writes the requested files when it goes out of scope. With neither
-// flag, instrumentation stays disabled and the run is unchanged. Extracted
-// from bench/bench_util.hpp so examples and tools emit metrics exactly the
+//   --attrib           enable latency-span stamping, so traces recorded
+//                      with --trace carry per-stage span records that
+//                      latency_attrib --trace can aggregate
+// and writes the requested files when it goes out of scope. With no flags,
+// instrumentation stays disabled and the run is unchanged. Extracted from
+// bench/bench_util.hpp so examples and tools emit metrics exactly the
 // same way the figure benches do.
 
 #include <cstdio>
@@ -15,6 +18,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/tracer.hpp"
 
 namespace zhuge::obs {
@@ -32,6 +36,8 @@ class ObsSession {
       } else if (arg == "--metrics" && i + 1 < argc) {
         metrics_path_ = argv[++i];
         set_metrics_enabled(true);
+      } else if (arg == "--attrib") {
+        set_attrib_enabled(true);
       }
     }
   }
@@ -64,6 +70,7 @@ class ObsSession {
     }
     set_tracing_enabled(false);
     set_metrics_enabled(false);
+    set_attrib_enabled(false);
   }
 
  private:

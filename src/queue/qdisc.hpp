@@ -86,7 +86,10 @@ class Qdisc {
                 {"depth_bytes", double(byte_count())});
   }
 
-  void obs_dequeued(const Packet& p, TimePoint now, Duration sojourn) {
+  /// Mutable Packet: besides metrics/trace output, this is where the
+  /// latency-attribution span records the AP-qdisc-egress boundary.
+  void obs_dequeued(Packet& p, TimePoint now, Duration sojourn) {
+    ZHUGE_SPAN_STAMP(p.span.ap_dequeue_ns, now);
     ZHUGE_INVARIANT(now, "queue.nonnegative_bytes", byte_count() >= 0,
                     "qdisc byte accounting went negative");
     ZHUGE_METRIC_INC(obs_dequeued_name_);

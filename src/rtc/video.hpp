@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/spans.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 #include "stats/distribution.hpp"
@@ -88,6 +89,14 @@ class FrameStats {
   using DecodeObserver = std::function<void(TimePoint capture, TimePoint decode)>;
   void set_observer(DecodeObserver obs) { observer_ = std::move(obs); }
 
+  /// Optional frame-span hook (latency attribution): the receiver hands a
+  /// fully-stamped FrameSpan here when a frame leaves the jitter buffer.
+  using SpanObserver = std::function<void(const obs::FrameSpan&)>;
+  void set_span_observer(SpanObserver obs) { span_observer_ = std::move(obs); }
+  void on_frame_span(const obs::FrameSpan& s) {
+    if (span_observer_) span_observer_(s);
+  }
+
   /// Record a decoded frame: capture at the sender, decode at the receiver.
   void on_frame_decoded(TimePoint capture_time, TimePoint decode_time) {
     frame_delays_ms_.add((decode_time - capture_time).to_millis());
@@ -128,6 +137,7 @@ class FrameStats {
   stats::Distribution frame_delays_ms_;
   std::vector<std::uint32_t> per_second_counts_;
   DecodeObserver observer_;
+  SpanObserver span_observer_;
 };
 
 }  // namespace zhuge::rtc

@@ -84,6 +84,10 @@ void RtpReceiver::on_rtp(const Packet& p) {
     fs.first_arrival = now;
   }
   fs.received.insert(h.packet_in_frame);
+  if (!fs.complete && fs.total > 0 && fs.received.size() >= fs.total) {
+    fs.complete = true;
+    fs.complete_time = now;
+  }
   try_decode();
 }
 
@@ -96,6 +100,17 @@ void RtpReceiver::try_decode() {
     FrameState& fs = it->second;
     if (fs.total == 0 || fs.received.size() < fs.total) break;
     stats_.on_frame_decoded(fs.capture, sim_.now());
+    if (obs::attrib_enabled()) {
+      obs::FrameSpan span;
+      span.flow_key = cfg_.ssrc;
+      span.frame_id = next_decode_frame_;
+      span.capture_ns = fs.capture.count_ns();
+      span.first_arrival_ns = fs.seen ? fs.first_arrival.count_ns() : -1;
+      span.complete_ns = fs.complete ? fs.complete_time.count_ns() : -1;
+      span.decode_ns = sim_.now().count_ns();
+      span.packets = fs.total;
+      stats_.on_frame_span(span);
+    }
     frames_.erase(it);
     ++next_decode_frame_;
   }

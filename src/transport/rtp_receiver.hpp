@@ -89,7 +89,9 @@ class RtpReceiver {
     std::uint16_t total = 0;
     TimePoint capture;
     TimePoint first_arrival;
+    TimePoint complete_time;  ///< when the last missing packet arrived
     bool seen = false;
+    bool complete = false;
   };
   std::map<std::uint32_t, FrameState> frames_;
   std::uint32_t next_decode_frame_ = 0;

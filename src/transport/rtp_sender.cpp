@@ -55,6 +55,9 @@ void RtpSender::on_frame_tick() {
     p.flow = flow_;
     p.size_bytes = payload + cfg_.header_bytes;
     p.sent_time = sim_.now();
+    // Packetisation instant: the pacing stage measures from here to the
+    // (possibly deferred) wire departure in send_packet's pacing timer.
+    ZHUGE_SPAN_STAMP(p.span.paced_ns, sim_.now());
     net::RtpHeader h;
     h.ssrc = cfg_.ssrc;
     h.seq = next_rtp_seq_++;
@@ -191,6 +194,10 @@ void RtpSender::handle_nack(const net::RtcpNack& nack) {
     Packet rtx = it->second;
     rtx.uid = uids_.next();
     rtx.sent_time = sim_.now();
+    // The history copy carries the original transmission's span stamps;
+    // this is a new wire journey, so start a fresh span.
+    rtx.span = {};
+    ZHUGE_SPAN_STAMP(rtx.span.paced_ns, sim_.now());
     rtx.rtp().retransmission = true;
     // Retransmissions travel with fresh TWCC sequence numbers.
     rtx.rtp().twcc_seq = next_twcc_seq_++;

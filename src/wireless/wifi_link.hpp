@@ -127,6 +127,14 @@ class WifiLink {
       frame_.push_back(Mpdu{std::move(*p), 0});
     }
 
+    // First transmission attempt for every MPDU not already stamped (fresh
+    // dequeues; retries keep their original first-air stamp).
+    for (auto& mpdu : frame_) {
+      if (mpdu.packet.span.first_air_ns < 0) {
+        ZHUGE_SPAN_STAMP(mpdu.packet.span.first_air_ns, now);
+      }
+    }
+
     ++frames_;
     if (frame_.empty()) {
       // Everything was AQM-dropped between kick and grant: occupy nothing.
@@ -165,6 +173,7 @@ class WifiLink {
         continue;
       }
       mpdu.packet.delivered_time = now;
+      mpdu.packet.span.air_retries = static_cast<std::uint32_t>(mpdu.retries);
       ++delivered_;
       ++ok;
       ZHUGE_METRIC_INC("wireless.wifi.delivered_packets");

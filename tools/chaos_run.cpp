@@ -1,6 +1,7 @@
 // chaos_run — run the standard chaos suite and report recovery verdicts.
 //
-//   chaos_run [--seed N] [--case NAME]... [--list] [--no-invariants] [-v]
+//   chaos_run [--seed N] [--case NAME]... [--list] [--no-invariants]
+//             [--attrib] [-v]
 //
 // Runs every case from app::standard_chaos_suite (or only the named ones)
 // with the runtime invariant checker enabled, prints one verdict line per
@@ -14,18 +15,25 @@
 #include <string>
 #include <vector>
 
+#include <iostream>
+
 #include "app/chaos.hpp"
+#include "obs/attrib.hpp"
 #include "obs/invariants.hpp"
+#include "obs/spans.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [--seed N] [--case NAME]... [--list] [--no-invariants] [-v]\n"
+      "usage: %s [--seed N] [--case NAME]... [--list] [--no-invariants]\n"
+      "          [--attrib] [-v]\n"
       "  --seed N         RNG seed for every case (default 1)\n"
       "  --case NAME      run only this case (repeatable); default: all\n"
       "  --list           print the case names and exit\n"
       "  --no-invariants  leave the runtime invariant checker off\n"
+      "  --attrib         record latency attribution across the ran cases\n"
+      "                   and print the merged budget report at the end\n"
       "  -v               also print the invariant summary per failed case\n",
       argv0);
 }
@@ -37,6 +45,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> only;
   bool list = false;
   bool invariants_on = true;
+  bool attrib = false;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -49,6 +58,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--no-invariants") {
       invariants_on = false;
+    } else if (arg == "--attrib") {
+      attrib = true;
     } else if (arg == "-v") {
       verbose = true;
     } else {
@@ -64,6 +75,8 @@ int main(int argc, char** argv) {
   }
 
   zhuge::obs::set_invariants_enabled(invariants_on);
+  zhuge::obs::set_attrib_enabled(attrib);
+  zhuge::obs::Attribution merged;
 
   int ran = 0;
   int failed = 0;
@@ -73,7 +86,8 @@ int main(int argc, char** argv) {
       continue;
     }
     zhuge::obs::invariants().clear();
-    const auto v = zhuge::app::run_chaos_case(c);
+    const auto v =
+        zhuge::app::run_chaos_case(c, attrib ? &merged : nullptr);
     ++ran;
     std::printf("%s\n", zhuge::app::format_verdict(v).c_str());
     if (!v.passed) {
@@ -88,6 +102,10 @@ int main(int argc, char** argv) {
   if (ran == 0) {
     std::fprintf(stderr, "no matching case (try --list)\n");
     return 2;
+  }
+  if (attrib && !merged.empty()) {
+    std::printf("\n");
+    zhuge::obs::write_attrib_report_text(merged, std::cout);
   }
   std::printf("%d/%d cases passed (seed %llu)\n", ran - failed, ran,
               static_cast<unsigned long long>(seed));

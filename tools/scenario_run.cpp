@@ -15,10 +15,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <iostream>
+
 #include "app/golden.hpp"
 #include "app/scenario.hpp"
 #include "app/spec.hpp"
 #include "app/sweep.hpp"
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 
@@ -28,6 +32,7 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s --spec FILE [--seed S] [--seeds N] [--threads N]\n"
       "          [--verify-serial] [--metrics PATH] [--print-schedule]\n"
+      "          [--attrib] [--attrib-out PATH]\n"
       "       %s --update-golden [DIR] | --check-golden [DIR] | --list-golden\n"
       "  --spec FILE       ScenarioSpec JSON (see examples/specs/)\n"
       "  --seed S          override the spec's seed\n"
@@ -35,11 +40,59 @@ void usage(const char* argv0) {
       "  --threads N       worker threads for the sweep (default 1)\n"
       "  --verify-serial   re-run serially, fail on fingerprint mismatch\n"
       "  --metrics PATH    write aggregated headline metrics JSON\n"
+      "  --attrib          record per-stage latency attribution and print\n"
+      "                    the merged budget report (see latency_attrib)\n"
+      "  --attrib-out PATH write the attribution report to PATH instead\n"
       "  --print-schedule  print the expanded flow schedule and exit\n"
       "  --update-golden   regenerate golden records (default DIR tests/golden)\n"
       "  --check-golden    verify golden records, exit 1 on drift\n"
       "  --list-golden     print the canonical golden scenario names\n",
       argv0, argv0);
+}
+
+/// The attribution golden anchor: the dense 64-station churn spec, run at
+/// its embedded seed with attribution on, pinning each stage's aggregate
+/// p95. A drift report here names the stage that moved.
+constexpr const char* kAttribGoldenName = "attrib_dense64";
+constexpr const char* kAttribGoldenSpec = "examples/specs/dense_64sta_churn.json";
+
+int run_attrib_golden(const std::string& dir, bool update) {
+  const std::string path = dir + "/" + std::string(kAttribGoldenName) + ".json";
+  std::string err;
+  const auto spec = zhuge::app::load_scenario_spec(kAttribGoldenSpec, &err);
+  if (!spec.has_value()) {
+    // The spec lives under examples/ and is only reachable from the repo
+    // root; golden upkeep from elsewhere just skips the attrib anchor.
+    std::printf("golden: %-20s SKIP (%s)\n", kAttribGoldenName, err.c_str());
+    return 0;
+  }
+  const auto runs = zhuge::app::run_spec_sweep(
+      {{spec->name, *spec, spec->seed}}, {.threads = 1, .attrib = true});
+  const auto actual = zhuge::app::make_attrib_golden(
+      kAttribGoldenName, spec->seed, runs.front().result.attrib);
+  if (update) {
+    if (!zhuge::app::write_attrib_golden_file(path, actual)) {
+      std::fprintf(stderr, "golden: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("golden: wrote %s (%zu stages)\n", path.c_str(),
+                actual.stage_p95_us.size());
+    return 0;
+  }
+  const auto expected = zhuge::app::load_attrib_golden_file(path, &err);
+  if (!expected.has_value()) {
+    std::fprintf(stderr, "golden: %s\n", err.c_str());
+    return 1;
+  }
+  const auto diffs = zhuge::app::compare_attrib_golden(*expected, actual);
+  if (diffs.empty()) {
+    std::printf("golden: %-20s OK (%zu stages)\n", kAttribGoldenName,
+                actual.stage_p95_us.size());
+    return 0;
+  }
+  std::printf("golden: %-20s DRIFT\n", kAttribGoldenName);
+  for (const auto& d : diffs) std::printf("  %s\n", d.c_str());
+  return 1;
 }
 
 void print_run(const zhuge::app::SpecSweepRun& run) {
@@ -92,6 +145,8 @@ int run_golden(const std::string& dir, bool update) {
       rc = 1;
     }
   }
+  const int attrib_rc = run_attrib_golden(dir, update);
+  rc = rc != 0 ? rc : attrib_rc;
   if (!update && rc != 0) {
     std::printf(
         "golden drift detected. If intentional, refresh with:\n"
@@ -113,6 +168,8 @@ int main(int argc, char** argv) {
   unsigned threads = 1;
   bool verify_serial = false;
   std::string metrics_path;
+  bool attrib = false;
+  std::string attrib_out;
   bool print_schedule = false;
   std::string golden_dir = "tests/golden";
   bool golden_update = false;
@@ -136,6 +193,11 @@ int main(int argc, char** argv) {
       verify_serial = true;
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--attrib") {
+      attrib = true;
+    } else if (arg == "--attrib-out" && i + 1 < argc) {
+      attrib = true;
+      attrib_out = argv[++i];
     } else if (arg == "--print-schedule") {
       print_schedule = true;
     } else if (arg == "--update-golden") {
@@ -195,12 +257,31 @@ int main(int argc, char** argv) {
 
   std::printf("scenario: %s, %zu run(s), %u thread(s)\n", spec->name.c_str(),
               grid.size(), threads);
-  const auto runs = app::run_spec_sweep(grid, {.threads = threads});
+  const auto runs =
+      app::run_spec_sweep(grid, {.threads = threads, .attrib = attrib});
   for (const auto& run : runs) print_run(run);
 
   int rc = 0;
+  if (attrib) {
+    obs::Attribution merged;
+    for (const auto& run : runs) merged.merge(run.result.attrib);
+    if (attrib_out.empty()) {
+      std::printf("\n");
+      obs::write_attrib_report_text(merged, std::cout);
+    } else {
+      std::ofstream out(attrib_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", attrib_out.c_str());
+        rc = 3;
+      } else {
+        obs::write_attrib_report_text(merged, out);
+        std::printf("attrib report: %s\n", attrib_out.c_str());
+      }
+    }
+  }
   if (verify_serial) {
-    const auto serial = app::run_spec_sweep(grid, {.threads = 1});
+    const auto serial =
+        app::run_spec_sweep(grid, {.threads = 1, .attrib = attrib});
     for (std::size_t i = 0; i < runs.size(); ++i) {
       if (serial[i].fingerprint != runs[i].fingerprint) {
         std::printf("MISMATCH %s: parallel %016llx != serial %016llx\n",

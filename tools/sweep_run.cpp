@@ -1,7 +1,7 @@
 // sweep_run — run a scenario × seed grid on a thread pool.
 //
 //   sweep_run [--threads N] [--seeds N] [--duration SECS] [--metrics PATH]
-//             [--verify-serial] [--list]
+//             [--verify-serial] [--attrib] [--list]
 //
 // The built-in scenario axis covers the four AP modes the paper compares
 // (none / Zhuge / FastAck, RTP; plus Zhuge over TCP-Copa) on the
@@ -14,10 +14,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "app/sweep.hpp"
+#include "obs/attrib.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "trace/synthetic.hpp"
@@ -27,12 +29,13 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--threads N] [--seeds N] [--duration SECS] [--metrics PATH]\n"
-      "          [--verify-serial] [--list]\n"
+      "          [--verify-serial] [--attrib] [--list]\n"
       "  --threads N      worker threads (default 1 = serial)\n"
       "  --seeds N        seeds per scenario, 1..N (default 4)\n"
       "  --duration SECS  simulated seconds per run (default 10)\n"
       "  --metrics PATH   write aggregated per-run metrics JSON to PATH\n"
       "  --verify-serial  re-run serially, fail on any fingerprint mismatch\n"
+      "  --attrib         record latency attribution, print the merged report\n"
       "  --list           print the grid point names and exit\n",
       argv0);
 }
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   long duration_s = 10;
   std::string metrics_path;
   bool verify_serial = false;
+  bool attrib = false;
   bool list = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--verify-serial") {
       verify_serial = true;
+    } else if (arg == "--attrib") {
+      attrib = true;
     } else if (arg == "--list") {
       list = true;
     } else {
@@ -99,7 +105,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("sweep: %zu points, %u thread(s)\n", grid.size(), threads);
-  const auto runs = app::run_sweep(grid, {.threads = threads});
+  const auto runs = app::run_sweep(grid, {.threads = threads, .attrib = attrib});
 
   for (const auto& run : runs) {
     const auto& flow = run.result.primary();
@@ -112,8 +118,14 @@ int main(int argc, char** argv) {
   }
 
   int rc = 0;
+  if (attrib) {
+    obs::Attribution merged;
+    for (const auto& run : runs) merged.merge(run.result.attrib);
+    std::printf("\n");
+    obs::write_attrib_report_text(merged, std::cout);
+  }
   if (verify_serial) {
-    const auto serial = app::run_sweep(grid, {.threads = 1});
+    const auto serial = app::run_sweep(grid, {.threads = 1, .attrib = attrib});
     for (std::size_t i = 0; i < runs.size(); ++i) {
       if (serial[i].fingerprint != runs[i].fingerprint) {
         std::printf("MISMATCH %s: parallel %016llx != serial %016llx\n",

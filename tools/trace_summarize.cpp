@@ -7,6 +7,8 @@
 // plus per-field count/mean/p50/p95/p99. A final section reports the two
 // distributions the paper's evaluation leans on: queue sojourn times and
 // Fortune Teller prediction error (predicted vs actual delivery delay).
+// Traces recorded with latency attribution on (--attrib) additionally get
+// the per-stage latency-budget report (see also tools/latency_attrib).
 
 #include <algorithm>
 #include <cmath>
@@ -15,6 +17,9 @@
 #include <string>
 #include <vector>
 
+#include <iostream>
+
+#include "obs/attrib.hpp"
 #include "obs/trace_reader.hpp"
 
 namespace {
@@ -80,8 +85,10 @@ int main(int argc, char** argv) {
   std::map<std::string, std::size_t> group_counts;
   FieldStats prediction_error_ms;
   std::map<std::string, FieldStats> sojourns_by_queue;
+  zhuge::obs::Attribution attrib;
 
   for (const auto& e : events) {
+    attrib.add_trace_event(e);
     t_min = std::min(t_min, e.t_us);
     t_max = std::max(t_max, e.t_us);
     const std::string key = e.component + " / " + e.name;
@@ -113,6 +120,10 @@ int main(int argc, char** argv) {
   if (!prediction_error_ms.values.empty()) {
     std::printf("\nprediction |error| (ms):\n");
     print_field_row("fortune vs delivery", prediction_error_ms);
+  }
+  if (!attrib.empty()) {
+    std::printf("\n");
+    zhuge::obs::write_attrib_report_text(attrib, std::cout);
   }
   return 0;
 }

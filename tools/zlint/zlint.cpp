@@ -272,11 +272,11 @@ const std::map<std::string_view, std::set<std::string_view>>& allowed_edges() {
       {"net", {"sim", "obs"}},
       {"trace", {"sim"}},
       {"queue", {"sim", "net", "obs"}},
-      {"rtc", {"sim", "stats"}},
+      {"rtc", {"sim", "stats", "obs"}},
       {"wireless", {"sim", "net", "queue", "trace", "obs"}},
       {"baseline", {"sim", "net", "stats"}},
       {"cca", {"sim", "net", "stats"}},
-      {"transport", {"sim", "net", "stats", "rtc", "cca"}},
+      {"transport", {"sim", "net", "stats", "rtc", "cca", "obs"}},
       {"core", {"sim", "net", "stats", "queue", "obs"}},
       {"fault", {"sim", "net", "obs"}},
       {"app",
