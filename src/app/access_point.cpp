@@ -118,13 +118,23 @@ std::size_t AccessPoint::active_station_count() const {
   return n;
 }
 
+void AccessPoint::send_feedback(Packet p) {
+  if (feedback_fault_hook_) {
+    feedback_fault_hook_(std::move(p));
+  } else {
+    to_server_(std::move(p));
+  }
+}
+
 void AccessPoint::register_rtc_flow(const net::FlowId& flow) {
   rtc_flows_.insert(flow);
+  flow_keys_.emplace(flow, next_flow_key_);
+  if (flow_keys_.size() > next_flow_key_) ++next_flow_key_;
   if (cfg_.mode == ApMode::kZhuge) {
     zhuge_flows_.emplace(
         flow, std::make_unique<core::ZhugeFlow>(
                   sim_, rng_, flow, cfg_.zhuge,
-                  [this](Packet p) { to_server_(std::move(p)); }));
+                  [this](Packet p) { send_feedback(std::move(p)); }));
   } else if (cfg_.mode == ApMode::kFastAck) {
     fastack_flows_.emplace(flow,
                            std::make_unique<baseline::FastAck>(cfg_.fastack));
@@ -136,13 +146,19 @@ core::ZhugeFlow* AccessPoint::zhuge_flow(const net::FlowId& flow) {
   return it == zhuge_flows_.end() ? nullptr : it->second.get();
 }
 
-namespace {
-void retire_flow(AccessPoint::RobustnessStats& into, core::ZhugeFlow& zf) {
-  into.degrades += zf.degrade_count();
-  into.reactivates += zf.reactivate_count();
-  into.flushed_acks += zf.flushed_on_teardown();
+void AccessPoint::retire_flow_stats(const net::FlowId& flow,
+                                    core::ZhugeFlow& zf) {
+  retired_stats_.degrades += zf.degrade_count();
+  retired_stats_.reactivates += zf.reactivate_count();
+  retired_stats_.flushed_acks += zf.flushed_on_teardown();
+  const auto key_it = flow_keys_.find(flow);
+  const std::uint32_t key =
+      key_it != flow_keys_.end() ? key_it->second : 0xffffffffu;
+  for (obs::LadderTransition t : zf.ladder_log()) {
+    t.flow_key = key;
+    retired_ladder_log_.push_back(t);
+  }
 }
-}  // namespace
 
 std::size_t AccessPoint::unregister_rtc_flow(const net::FlowId& flow) {
   rtc_flows_.erase(flow);
@@ -150,7 +166,7 @@ std::size_t AccessPoint::unregister_rtc_flow(const net::FlowId& flow) {
   std::size_t flushed = 0;
   if (const auto it = zhuge_flows_.find(flow); it != zhuge_flows_.end()) {
     flushed = it->second->teardown();
-    retire_flow(retired_stats_, *it->second);
+    retire_flow_stats(flow, *it->second);
     zhuge_flows_.erase(it);
     ZHUGE_METRIC_INC("ap.flow_unregistered");
     ZHUGE_TRACE(sim_.now(), "ap", "unregister_flow",
@@ -164,7 +180,7 @@ void AccessPoint::restart_optimizer() {
   std::size_t flushed = 0;
   for (auto& [flow, zf] : zhuge_flows_) {
     flushed += zf->teardown();
-    retire_flow(retired_stats_, *zf);
+    retire_flow_stats(flow, *zf);
   }
   zhuge_flows_.clear();
   fastack_flows_.clear();
@@ -173,7 +189,7 @@ void AccessPoint::restart_optimizer() {
       zhuge_flows_.emplace(
           flow, std::make_unique<core::ZhugeFlow>(
                     sim_, rng_, flow, cfg_.zhuge,
-                    [this](Packet p) { to_server_(std::move(p)); }));
+                    [this](Packet p) { send_feedback(std::move(p)); }));
     } else if (cfg_.mode == ApMode::kFastAck) {
       fastack_flows_.emplace(flow,
                              std::make_unique<baseline::FastAck>(cfg_.fastack));
@@ -206,6 +222,20 @@ AccessPoint::RobustnessStats AccessPoint::robustness() const {
     s.flushed_acks += zf->flushed_on_teardown();
   }
   return s;
+}
+
+std::vector<obs::LadderTransition> AccessPoint::ladder_log() const {
+  std::vector<obs::LadderTransition> log = retired_ladder_log_;
+  for (const auto& [flow, zf] : zhuge_flows_) {
+    const auto key_it = flow_keys_.find(flow);
+    const std::uint32_t key =
+        key_it != flow_keys_.end() ? key_it->second : 0xffffffffu;
+    for (obs::LadderTransition t : zf->ladder_log()) {
+      t.flow_key = key;
+      log.push_back(t);
+    }
+  }
+  return log;
 }
 
 Duration AccessPoint::instantaneous_queue_delay(TimePoint now) const {

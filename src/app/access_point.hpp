@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "baseline/abc_router.hpp"
 #include "baseline/fastack.hpp"
@@ -102,6 +103,16 @@ class AccessPoint {
   /// Uplink entry: a packet arrives from the client over wireless.
   void from_client(Packet p);
 
+  /// Interpose on the AP->sender *rewritten feedback* path: everything a
+  /// ZhugeFlow emits towards the WAN (released OOB delay-token ACKs,
+  /// AP-constructed TWCC, forwarded client RTCP of optimised flows) goes
+  /// through `hook` instead of the wired uplink. Fault injection uses
+  /// this to impair exactly the control loop and nothing else; pass an
+  /// empty handler to restore the direct path.
+  void set_feedback_fault_hook(PacketHandler hook) {
+    feedback_fault_hook_ = std::move(hook);
+  }
+
   /// Mark a flow (server->client direction) as an RTC flow to optimise —
   /// the paper's configurable IP list (§7.1).
   void register_rtc_flow(const net::FlowId& flow);
@@ -137,6 +148,12 @@ class AccessPoint {
   };
   [[nodiscard]] RobustnessStats robustness() const;
 
+  /// Ladder transitions of every optimised flow, current and retired,
+  /// stamped with a stable per-flow key (registration order). Unsorted
+  /// across flows; obs::compute_recovery_slo sorts. Observability output
+  /// only — never hashed into result fingerprints.
+  [[nodiscard]] std::vector<obs::LadderTransition> ladder_log() const;
+
   /// Feedback packets/fortunes currently held by any optimised flow.
   [[nodiscard]] std::size_t pending_feedback() const {
     std::size_t n = 0;
@@ -158,6 +175,8 @@ class AccessPoint {
     bool active = true;
   };
 
+  void send_feedback(Packet p);
+  void retire_flow_stats(const net::FlowId& flow, core::ZhugeFlow& zf);
   void on_qdisc_dequeue(const Packet& p, TimePoint now);
   void on_station_dequeue(Station& st, std::uint32_t ip, const Packet& p,
                           TimePoint now);
@@ -192,9 +211,19 @@ class AccessPoint {
   std::uint64_t uplink_delayed_ = 0;
   std::uint64_t uplink_dropped_ = 0;
 
+  /// Fault-injection interposer on the rewritten-feedback path; empty =
+  /// feedback goes straight to to_server_.
+  PacketHandler feedback_fault_hook_;
+
   // Fail-open accounting retired from flows destroyed by
   // unregister/restart, so robustness() stays cumulative.
   RobustnessStats retired_stats_;
+
+  /// Stable flow keys for ladder_log() (assigned in registration order;
+  /// an unregister/re-register keeps the original key).
+  std::map<net::FlowId, std::uint32_t> flow_keys_;
+  std::uint32_t next_flow_key_ = 0;
+  std::vector<obs::LadderTransition> retired_ladder_log_;
 };
 
 }  // namespace zhuge::app

@@ -1,6 +1,11 @@
 #include "app/chaos.hpp"
 
+#include <cstdio>
+#include <iterator>
 #include <utility>
+
+#include "app/spec.hpp"
+#include "app/sweep.hpp"
 
 namespace zhuge::app {
 
@@ -140,6 +145,21 @@ ChaosVerdict run_chaos_case(const ChaosCase& c, obs::Attribution* attrib_out) {
   v.flushed_acks = r.robustness.flushed_acks + r.flushed_acks_at_end;
   v.fault_drops = r.fault_drops;
 
+  // Recovery SLO from the ladder-transition log plus flow 0's decoded
+  // frames (the series carries (decode instant, frame delay) pairs, which
+  // is exactly obs::FramePoint).
+  obs::SloInputs si;
+  si.transitions = r.ladder_log;
+  si.fault_start_ns = c.fault_start.count_ns();
+  si.fault_end_ns = c.fault_end.count_ns();
+  si.run_end_ns = run_end.count_ns();
+  si.video_fps = c.config.video.fps;
+  si.frames.reserve(r.frame_delay_series_ms.points().size());
+  for (const auto& p : r.frame_delay_series_ms.points()) {
+    si.frames.push_back(obs::FramePoint{p.t.count_ns(), p.value});
+  }
+  v.slo = obs::compute_recovery_slo(si);
+
   if (v.recovery_ratio < c.min_recovery_ratio) {
     v.failure = "goodput did not recover (ratio " +
                 std::to_string(v.recovery_ratio) + " < " +
@@ -169,6 +189,205 @@ std::string format_verdict(const ChaosVerdict& v) {
                      ", invariants=" + std::to_string(v.invariant_violations);
   if (!v.passed) line += " — " + v.failure;
   return line;
+}
+
+std::string verdict_json(const ChaosVerdict& v) {
+  const auto num = [](double d) { return Json::make_number(d); };
+  const auto cnt = [&num](std::uint64_t c) {
+    return num(static_cast<double>(c));
+  };
+  Json o = Json::make_object();
+  o.set("name", Json::make_string(v.name));
+  o.set("passed", Json::make_bool(v.passed));
+  if (!v.failure.empty()) o.set("failure", Json::make_string(v.failure));
+  o.set("pre_fault_goodput_bps", num(v.pre_fault_goodput_bps));
+  o.set("post_fault_goodput_bps", num(v.post_fault_goodput_bps));
+  o.set("recovery_ratio", num(v.recovery_ratio));
+  o.set("stranded_acks", cnt(v.stranded_acks));
+  o.set("invariant_violations", cnt(v.invariant_violations));
+  o.set("degrades", cnt(v.degrades));
+  o.set("reactivates", cnt(v.reactivates));
+  o.set("flushed_acks", cnt(v.flushed_acks));
+  o.set("fault_drops", cnt(v.fault_drops));
+
+  Json slo = Json::make_object();
+  slo.set("triggered", Json::make_bool(v.slo.triggered));
+  slo.set("recovered", Json::make_bool(v.slo.recovered));
+  slo.set("time_to_detect_ms", num(v.slo.time_to_detect_ms));
+  slo.set("time_to_recover_ms", num(v.slo.time_to_recover_ms));
+  Json dwell = Json::make_object();
+  for (std::size_t i = 0; i < obs::kLadderLevelCount; ++i) {
+    dwell.set(obs::ladder_level_name(static_cast<obs::LadderLevel>(i)),
+              num(v.slo.dwell_ms[i]));
+  }
+  slo.set("dwell_ms", std::move(dwell));
+  slo.set("deepest", Json::make_string(obs::ladder_level_name(v.slo.deepest)));
+  slo.set("escalations", cnt(v.slo.escalations));
+  slo.set("step_downs", cnt(v.slo.step_downs));
+  slo.set("frames_expected_in_transition",
+          cnt(v.slo.frames_expected_in_transition));
+  slo.set("frames_decoded_in_transition",
+          cnt(v.slo.frames_decoded_in_transition));
+  slo.set("frames_lost_in_transition", cnt(v.slo.frames_lost_in_transition));
+  slo.set("healthy_p95_ms", num(v.slo.healthy_p95_ms));
+  slo.set("post_recovery_p95_ms", num(v.slo.post_recovery_p95_ms));
+  slo.set("post_over_healthy_p95", num(v.slo.post_over_healthy_p95));
+  o.set("slo", std::move(slo));
+
+  // 64-bit hashes do not round-trip through a JSON double; hex string.
+  char fp[19];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(chaos_verdict_fingerprint(v)));
+  o.set("fingerprint", Json::make_string(fp));
+  return o.dump();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos matrix
+// ---------------------------------------------------------------------------
+
+std::vector<ChaosCase> chaos_matrix(std::uint64_t seed) {
+  struct MatrixCca {
+    const char* name;
+    Protocol protocol;
+    TcpCcaKind tcp;
+  };
+  // tcp field is unused for the RTP/GCC row.
+  static constexpr MatrixCca kCcas[] = {
+      {"gcc", Protocol::kRtp, TcpCcaKind::kCubic},
+      {"cubic", Protocol::kTcp, TcpCcaKind::kCubic},
+      {"bbr", Protocol::kTcp, TcpCcaKind::kBbr},
+  };
+
+  struct MatrixProfile {
+    const char* name;
+    int mcs;
+    QdiscKind qdisc;
+  };
+  static constexpr MatrixProfile kProfiles[] = {
+      {"steady", 7, QdiscKind::kFifo},
+      {"stressed", 3, QdiscKind::kCoDel},
+  };
+
+  // The four feedback-path fault kinds, split across the two control-loop
+  // boundaries so the matrix exercises both: total loss and delay spikes
+  // hit the client->AP RTCP ingress, duplication and reordering hit the
+  // AP-rewritten feedback on its way to the servers.
+  enum class FaultKind : std::uint8_t { kLoss, kDup, kReorder, kSpike };
+  struct MatrixFault {
+    const char* name;
+    FaultKind kind;
+    double start_s, end_s;     ///< fault window
+    double duration_s;         ///< whole-run length
+    double settle_s;           ///< post-fault settle before judging goodput
+    bool expect_degrade;       ///< the ladder must escalate during the case
+  };
+  static constexpr MatrixFault kFaults[] = {
+      // 2 s of total feedback silence: the watchdog MUST escalate, and the
+      // CCA's ramp back from its floor needs the long settle.
+      {"fb_loss", FaultKind::kLoss, 10.0, 12.0, 35.0, 8.0, true},
+      {"fb_dup", FaultKind::kDup, 10.0, 13.0, 28.0, 4.0, false},
+      {"fb_reorder", FaultKind::kReorder, 10.0, 13.0, 28.0, 4.0, false},
+      {"fb_spike", FaultKind::kSpike, 10.0, 13.0, 28.0, 4.0, false},
+  };
+
+  std::vector<ChaosCase> cases;
+  cases.reserve(std::size(kFaults) * std::size(kCcas) * std::size(kProfiles));
+  for (const auto& fk : kFaults) {
+    for (const auto& cca : kCcas) {
+      for (const auto& prof : kProfiles) {
+        ChaosCase c = make_case(std::string(fk.name) + "/" + cca.name + "/" +
+                                    prof.name,
+                                seed, fk.start_s, fk.end_s);
+        c.config.protocol = cca.protocol;
+        c.config.tcp_cca = cca.tcp;
+        c.config.mcs_index = prof.mcs;
+        c.config.ap.qdisc = prof.qdisc;
+        c.config.duration = Duration::from_seconds(fk.duration_s);
+        c.post_settle = Duration::from_seconds(fk.settle_s);
+        c.expect_degrade = fk.expect_degrade;
+        const Window w{c.fault_start, c.fault_end};
+        switch (fk.kind) {
+          case FaultKind::kLoss:
+            c.config.faults.uplink_rtcp.loss_prob = 1.0;
+            c.config.faults.uplink_rtcp.active = {w};
+            break;
+          case FaultKind::kDup:
+            c.config.faults.ap_feedback.dup_prob = 0.3;
+            c.config.faults.ap_feedback.active = {w};
+            break;
+          case FaultKind::kReorder:
+            c.config.faults.ap_feedback.reorder_prob = 0.3;
+            c.config.faults.ap_feedback.reorder_delay = Duration::millis(10);
+            c.config.faults.ap_feedback.active = {w};
+            break;
+          case FaultKind::kSpike:
+            c.config.faults.uplink_rtcp.spike_prob = 0.9;
+            c.config.faults.uplink_rtcp.spike_delay = Duration::millis(120);
+            c.config.faults.uplink_rtcp.active = {w};
+            break;
+        }
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+std::uint64_t chaos_verdict_fingerprint(const ChaosVerdict& v) {
+  Fnv f;
+  f.bytes(v.name.data(), v.name.size());
+  f.u64(v.passed ? 1 : 0);
+  f.f64(v.pre_fault_goodput_bps);
+  f.f64(v.post_fault_goodput_bps);
+  f.f64(v.recovery_ratio);
+  f.u64(v.stranded_acks);
+  f.u64(v.invariant_violations);
+  f.u64(v.degrades);
+  f.u64(v.reactivates);
+  f.u64(v.flushed_acks);
+  f.u64(v.fault_drops);
+  const obs::RecoverySlo& s = v.slo;
+  f.u64(s.triggered ? 1 : 0);
+  f.u64(s.recovered ? 1 : 0);
+  f.f64(s.time_to_detect_ms);
+  f.f64(s.time_to_recover_ms);
+  for (const double d : s.dwell_ms) f.f64(d);
+  f.u64(static_cast<std::uint64_t>(s.deepest));
+  f.u64(s.escalations);
+  f.u64(s.step_downs);
+  f.u64(s.frames_expected_in_transition);
+  f.u64(s.frames_decoded_in_transition);
+  f.u64(s.frames_lost_in_transition);
+  f.f64(s.healthy_p95_ms);
+  f.f64(s.post_recovery_p95_ms);
+  f.f64(s.post_over_healthy_p95);
+  return f.h;
+}
+
+ChaosMatrixResult run_chaos_matrix(const std::vector<ChaosCase>& cases,
+                                   unsigned threads) {
+  ChaosMatrixResult out;
+  out.verdicts.resize(cases.size());
+  {
+    // The obs registries (metrics, tracer, invariants, attrib) are shared
+    // and unsynchronized; freeze them exactly like the sweep pools do so
+    // a run observes the same global state serially or under the pool.
+    ObsFreeze freeze;
+    run_indexed_pool(cases.size(), threads, [&](std::size_t i) {
+      out.verdicts[i] = run_chaos_case(cases[i]);
+    });
+  }
+  // Aggregation is serial and in grid order regardless of which worker
+  // finished first, so the fingerprint and the SLO rows are stable.
+  Fnv chain;
+  for (const auto& v : out.verdicts) {
+    chain.u64(chaos_verdict_fingerprint(v));
+    out.slo.add(v.name, v.slo);
+    if (!v.passed) ++out.failed;
+  }
+  out.fingerprint = chain.h;
+  return out;
 }
 
 }  // namespace zhuge::app

@@ -17,6 +17,7 @@
 
 #include "app/scenario.hpp"
 #include "fault/fault.hpp"
+#include "obs/slo.hpp"
 
 namespace zhuge::app {
 
@@ -48,6 +49,11 @@ struct ChaosVerdict {
   std::uint64_t reactivates = 0;
   std::uint64_t flushed_acks = 0;
   std::uint64_t fault_drops = 0;
+
+  /// Recovery-SLO accounting from the run's degradation-ladder log
+  /// (obs::compute_recovery_slo): time-to-detect, time-to-recover,
+  /// per-level dwell, frames lost while degraded, post-recovery tail.
+  obs::RecoverySlo slo{};
 };
 
 /// The standard suite: every fault class the subsystem models, each as a
@@ -64,5 +70,47 @@ struct ChaosVerdict {
 
 /// One-line human-readable verdict summary.
 [[nodiscard]] std::string format_verdict(const ChaosVerdict& v);
+
+/// One machine-readable verdict as a single-line JSON object (chaos_run
+/// --json): pass/fail, goodput numbers, robustness counters, and the full
+/// recovery SLO.
+[[nodiscard]] std::string verdict_json(const ChaosVerdict& v);
+
+// ---------------------------------------------------------------------------
+// Chaos matrix: feedback-path fault kinds x sender CCAs x channel profiles
+// ---------------------------------------------------------------------------
+
+/// The recovery-SLO chaos matrix: four feedback-path fault kinds (total
+/// feedback loss, duplication, reordering, delay spikes — split across the
+/// uplink-RTCP and AP-rewritten-feedback boundaries so both are exercised)
+/// crossed with three sender CCAs (RTP/GCC, TCP/CUBIC, TCP/BBR) and two
+/// channel profiles (steady: MCS 7 + FIFO; stressed: MCS 3 + CoDel).
+/// 4 x 3 x 2 = 24 cases named "<fault>/<cca>/<profile>", deterministic in
+/// `seed`.
+[[nodiscard]] std::vector<ChaosCase> chaos_matrix(std::uint64_t seed);
+
+/// Everything one matrix run produces. `fingerprint` chains the per-case
+/// verdict fingerprints in grid order, so two matrix runs are equal iff
+/// every verdict (including its SLO numbers) is bit-identical — the
+/// serial-vs-parallel identity the tests assert.
+struct ChaosMatrixResult {
+  std::vector<ChaosVerdict> verdicts;  ///< grid order, not completion order
+  obs::SloAccumulator slo;             ///< per-case rows + aggregate CDFs
+  std::uint64_t fingerprint = 0;
+  int failed = 0;
+};
+
+/// FNV-1a64 over every numeric field of the verdict (goodputs, counters,
+/// the whole RecoverySlo) plus the case name. Complements the sweep
+/// fingerprints: those deliberately exclude the post-golden fault/ladder
+/// fields, this one covers them.
+[[nodiscard]] std::uint64_t chaos_verdict_fingerprint(const ChaosVerdict& v);
+
+/// Run `cases` on `threads` workers (app::run_indexed_pool; obs switches
+/// frozen for the duration, so runtime invariant checking is off — the
+/// serial standard suite keeps that gate). Verdicts land in grid order and
+/// are bit-identical for any thread count.
+[[nodiscard]] ChaosMatrixResult run_chaos_matrix(
+    const std::vector<ChaosCase>& cases, unsigned threads);
 
 }  // namespace zhuge::app

@@ -106,6 +106,11 @@ class Scenario {
   std::unique_ptr<fault::Injector> inj_downlink_wireless_;  ///< AP -> client
   std::unique_ptr<fault::Injector> inj_uplink_wan_;         ///< AP -> servers
 
+  // Feedback-path boundaries (control loop only; only_feedback is forced
+  // on, so data packets bypass without consuming RNG draws).
+  std::unique_ptr<fault::Injector> inj_ap_feedback_;   ///< AP-rewritten fb -> WAN
+  std::unique_ptr<fault::Injector> inj_uplink_rtcp_;   ///< client RTCP -> AP
+
   std::unique_ptr<AccessPoint> ap_;
 
   // WAN links (wired, stable).
@@ -174,6 +179,23 @@ void Scenario::build() {
         sim_, sim::Rng(cfg_.seed, 43), cfg_.faults.uplink_wan,
         [this](Packet p) { server_receive(std::move(p)); });
   }
+  // Feedback-path fault boundaries. Both force only_feedback so enabling
+  // one never perturbs data packets (or their RNG realisation). The
+  // client->AP RTCP injector sits *before* the generic uplink-wireless
+  // injector: a survivor of the feedback fault still crosses whatever
+  // uplink impairment the plan also configures.
+  if (cfg_.faults.uplink_rtcp.any()) {
+    fault::InjectorConfig fcfg = cfg_.faults.uplink_rtcp;
+    fcfg.only_feedback = true;
+    inj_uplink_rtcp_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(cfg_.seed, 53), fcfg, [this](Packet p) {
+          if (inj_uplink_wireless_) {
+            inj_uplink_wireless_->handle(std::move(p));
+          } else {
+            ap_->from_client(std::move(p));
+          }
+        });
+  }
 
   // AP -> servers wired uplink.
   net::PointToPointLink::Config up_cfg;
@@ -195,6 +217,20 @@ void Scenario::build() {
       },
       [this](Packet p) { wan_up_->send(std::move(p)); });
 
+  // AP-rewritten-feedback fault boundary: everything the optimiser emits
+  // towards the WAN (released OOB delay-token ACKs, AP-built TWCC,
+  // forwarded client RTCP of optimised flows) detours through this
+  // injector before the wired uplink — exactly the shortest control loop,
+  // nothing else.
+  if (cfg_.faults.ap_feedback.any()) {
+    fault::InjectorConfig fcfg = cfg_.faults.ap_feedback;
+    fcfg.only_feedback = true;
+    inj_ap_feedback_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(cfg_.seed, 47), fcfg,
+        [this](Packet p) { wan_up_->send(std::move(p)); });
+    ap_->set_feedback_fault_hook(inj_ap_feedback_->as_handler());
+  }
+
   // Servers -> AP wired downlink.
   net::PointToPointLink::Config down_cfg;
   down_cfg.rate_bps = cfg_.wan_rate_bps;
@@ -205,7 +241,9 @@ void Scenario::build() {
 
   // Client uplink: small FIFO through the shared wireless medium.
   const PacketHandler uplink_delivery = [this](Packet p) {
-    if (inj_uplink_wireless_) {
+    if (inj_uplink_rtcp_) {
+      inj_uplink_rtcp_->handle(std::move(p));  // chains into the next hop
+    } else if (inj_uplink_wireless_) {
       inj_uplink_wireless_->handle(std::move(p));
     } else {
       ap_->from_client(std::move(p));
@@ -374,8 +412,17 @@ void Scenario::build_rtc_flow(std::size_t index) {
         const double hint = std::max(
             sender.congestion_control().pacing_rate_bps() * 0.85,
             sender.delivery_rate_bps(s->sim_.now()) * 0.95);
-        const double target =
-            hint > 0 ? hint : s->cfg_.video.start_bitrate_bps;
+        double target = hint > 0 ? hint : s->cfg_.video.start_bitrate_bps;
+        // Upward probe: rate-sampling CCAs (BBR) pace off their own
+        // bandwidth estimate, which is in turn fed by what we offer —
+        // tracking the hints alone is a stable fixed point at *any* rate,
+        // so a fault that knocks the estimate down would pin the flow low
+        // forever. Real encoders raise the offered bitrate while the
+        // socket keeps up; congestion shows up as backlog and pulls the
+        // offer back to the hints (next_frame_bytes clamps at max_bitrate).
+        if (sender.backlog_bytes() == 0) {
+          target = std::max(target, f->tcp_encoder->encoder_rate_bps() * 1.05);
+        }
         const std::uint64_t bytes = f->tcp_encoder->next_frame_bytes(target);
         // Skip frames once ~100 ms of video is stuck in the socket: a
         // real-time encoder stalls rather than queueing without bound,
@@ -546,13 +593,16 @@ ScenarioResult Scenario::run() {
   result_.flushed_acks_at_end = ap_->flush_feedback();
   result_.stranded_acks = ap_->pending_feedback();
   result_.robustness = ap_->robustness();
+  result_.ladder_log = ap_->ladder_log();
   for (const auto* inj :
        {inj_downlink_wan_.get(), inj_uplink_wireless_.get(),
-        inj_downlink_wireless_.get(), inj_uplink_wan_.get()}) {
+        inj_downlink_wireless_.get(), inj_uplink_wan_.get(),
+        inj_ap_feedback_.get(), inj_uplink_rtcp_.get()}) {
     if (inj == nullptr) continue;
     result_.fault_drops += inj->dropped();
     result_.fault_duplicated += inj->duplicated();
     result_.fault_reordered += inj->reordered();
+    result_.fault_delay_spiked += inj->delay_spiked();
   }
   result_.invariant_violations =
       obs::invariants().total() - invariants_at_start_;
@@ -671,6 +721,13 @@ class MultiScenario {
   std::vector<std::unique_ptr<wireless::Channel>> down_channels_;
   std::vector<std::unique_ptr<wireless::Channel>> up_channels_;
   std::unique_ptr<wireless::Medium> medium_;
+
+  // Feedback-path fault injectors (spec "feedback_faults" section); both
+  // run with only_feedback forced on. Declared before ap_ and the uplink
+  // links whose handlers dereference them at call time.
+  std::unique_ptr<fault::Injector> inj_ap_feedback_;  ///< AP-rewritten fb -> WAN
+  std::unique_ptr<fault::Injector> inj_uplink_rtcp_;  ///< client RTCP -> AP
+
   std::unique_ptr<AccessPoint> ap_;
   std::unique_ptr<net::PointToPointLink> wan_down_;
   std::unique_ptr<net::PointToPointLink> wan_up_;
@@ -715,14 +772,37 @@ void MultiScenario::build() {
   wan_up_ = std::make_unique<net::PointToPointLink>(
       sim_, wan_cfg, [this](Packet p) { server_receive(std::move(p)); });
 
+  // Client->AP RTCP fault boundary, shared by every station uplink. Built
+  // before the AP/stations so their delivery handlers can chain into it.
+  if (spec_.uplink_rtcp_fault.any()) {
+    fault::InjectorConfig fcfg = spec_.uplink_rtcp_fault;
+    fcfg.only_feedback = true;
+    inj_uplink_rtcp_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(seed_, 53), fcfg,
+        [this](Packet p) { ap_->from_client(std::move(p)); });
+  }
+
   AccessPoint::Config apcfg;
   apcfg.mode = spec_.ap_mode;
   apcfg.qdisc = QdiscKind::kFifo;  // default link is unused; stations rule
   apcfg.link = LinkKind::kWifi;
+  apcfg.zhuge.watchdog.initial_level = spec_.zhuge_initial_ladder;
   ap_ = std::make_unique<AccessPoint>(
       sim_, *rng_, *default_channel_, *medium_, apcfg,
       [this](Packet p) { client_receive(std::move(p)); },
       [this](Packet p) { wan_up_->send(std::move(p)); });
+
+  // AP-rewritten-feedback fault boundary (same semantics as Scenario's):
+  // the optimiser's emitted feedback detours through the injector before
+  // the wired uplink towards the servers.
+  if (spec_.ap_feedback_fault.any()) {
+    fault::InjectorConfig fcfg = spec_.ap_feedback_fault;
+    fcfg.only_feedback = true;
+    inj_ap_feedback_ = std::make_unique<fault::Injector>(
+        sim_, sim::Rng(seed_, 47), fcfg,
+        [this](Packet p) { wan_up_->send(std::move(p)); });
+    ap_->set_feedback_fault_hook(inj_ap_feedback_->as_handler());
+  }
 
   // Servers -> AP wired downlink.
   wan_down_ = std::make_unique<net::PointToPointLink>(
@@ -782,7 +862,13 @@ void MultiScenario::build_station(int index) {
   ul_cfg.max_agg_packets = 8;  // feedback packets are small and few
   up.link = std::make_unique<wireless::WifiLink>(
       sim_, *rng_, *up_channels_.back(), *medium_, *up.qdisc, ul_cfg,
-      [this](Packet p) { ap_->from_client(std::move(p)); });
+      [this](Packet p) {
+        if (inj_uplink_rtcp_) {
+          inj_uplink_rtcp_->handle(std::move(p));
+        } else {
+          ap_->from_client(std::move(p));
+        }
+      });
   uplinks_.push_back(std::move(up));
 
   // Square-wave PHY fade. The phase draw comes from scenario_rng_ in
@@ -917,8 +1003,13 @@ void MultiScenario::arrive(const FlowEvent& ev) {
         const double hint =
             std::max(sender.congestion_control().pacing_rate_bps() * 0.85,
                      sender.delivery_rate_bps(s->sim_.now()) * 0.95);
-        const double target =
-            hint > 0 ? hint : f->tcp_encoder->encoder_rate_bps();
+        double target = hint > 0 ? hint : f->tcp_encoder->encoder_rate_bps();
+        // Upward probe while the socket keeps up (see Scenario's tick):
+        // without it BBR's self-referential estimate pins the flow at
+        // whatever rate a transient fault left it.
+        if (sender.backlog_bytes() == 0) {
+          target = std::max(target, f->tcp_encoder->encoder_rate_bps() * 1.05);
+        }
         const std::uint64_t bytes = f->tcp_encoder->next_frame_bytes(target);
         const double backlog_limit =
             std::max(f->tcp_encoder->encoder_rate_bps(), 1e5) * 0.10 / 8.0;
@@ -1051,6 +1142,15 @@ MultiStationResult MultiScenario::run() {
   result_.flushed_acks_at_end = ap_->flush_feedback();
   result_.stranded_acks = ap_->pending_feedback();
   result_.robustness = ap_->robustness();
+  result_.ladder_log = ap_->ladder_log();
+  for (const auto* inj : {inj_ap_feedback_.get(), inj_uplink_rtcp_.get()}) {
+    if (inj == nullptr) continue;
+    result_.fault_drops += inj->dropped();
+    result_.fault_duplicated += inj->duplicated();
+    result_.fault_reordered += inj->reordered();
+    result_.fault_delay_spiked += inj->delay_spiked();
+    result_.fault_bypassed += inj->bypassed();
+  }
   for (auto& [idx, f] : active_) {
     sim_.cancel(f->tick_id);
     finalize_flow(*f);

@@ -86,6 +86,10 @@ struct ScenarioResult {
   std::uint64_t fault_drops = 0;          ///< injector drops, all boundaries
   std::uint64_t fault_duplicated = 0;
   std::uint64_t fault_reordered = 0;
+  /// Injector delay spikes, all boundaries. Added after the golden suite
+  /// pinned result_fingerprint's input stream, so it is deliberately NOT
+  /// hashed there; the chaos-matrix verdict fingerprint covers it.
+  std::uint64_t fault_delay_spiked = 0;
   std::uint64_t flushed_acks_at_end = 0;  ///< feedback drained at run end
   std::uint64_t stranded_acks = 0;        ///< still held after the drain (bug if > 0)
   std::uint64_t invariant_violations = 0; ///< raised during this run
@@ -94,6 +98,12 @@ struct ScenarioResult {
   /// during the run). Observability output only: excluded from result
   /// fingerprints by construction (sweep.cpp never hashes it).
   obs::Attribution attrib;
+
+  /// Degradation-ladder transitions of every optimised flow (current and
+  /// retired), stamped with stable flow keys. Observability output only,
+  /// excluded from result fingerprints like `attrib`; the recovery-SLO
+  /// accounting (obs::compute_recovery_slo) consumes it.
+  std::vector<obs::LadderTransition> ladder_log;
 
   /// Flow 0 shorthand.
   [[nodiscard]] const FlowResult& primary() const { return flows.front(); }
@@ -154,9 +164,23 @@ struct MultiStationResult {
   std::uint64_t invariant_violations = 0;
   AccessPoint::RobustnessStats robustness{};
 
+  // Feedback-path fault-injection counters (spec "feedback_faults"
+  // section). Added after the golden suite pinned multi_result_fingerprint's
+  // input stream, so they are deliberately NOT hashed there; tests compare
+  // them directly when asserting injection bit-identity.
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_reordered = 0;
+  std::uint64_t fault_delay_spiked = 0;
+  std::uint64_t fault_bypassed = 0;  ///< non-feedback packets waved through
+
   /// Per-stage latency attribution (observability only; never hashed by
   /// sweep::multi_result_fingerprint).
   obs::Attribution attrib;
+
+  /// Degradation-ladder transitions, all optimised flows (observability
+  /// only; never hashed — same contract as `attrib`).
+  std::vector<obs::LadderTransition> ladder_log;
 };
 
 /// Run a multi-station spec to completion with its embedded seed.

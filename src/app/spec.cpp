@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/slo.hpp"
 #include "sim/random.hpp"
 
 namespace zhuge::app {
@@ -209,6 +210,15 @@ class JsonParser {
       fail("unexpected end of input");
       return std::nullopt;
     }
+    // Stamp the line the value starts on: spec validation reuses it for
+    // "line N:" diagnostics on *semantic* errors (unknown key, range).
+    const int at = line_;
+    std::optional<Json> v = parse_value_here();
+    if (v.has_value()) v->set_line(at);
+    return v;
+  }
+
+  std::optional<Json> parse_value_here() {
     const char c = text_[pos_];
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
@@ -409,6 +419,94 @@ std::string str_field(const Json& obj, const char* key, std::string fallback) {
   return v != nullptr ? v->string_or(std::move(fallback)) : fallback;
 }
 
+/// "line N: " prefix from a value's recorded source line (empty for built
+/// documents, which carry line 0).
+std::string at_line(const Json& v) {
+  return v.line() > 0 ? "line " + std::to_string(v.line()) + ": " : "";
+}
+
+/// One strictly validated feedback-fault sub-object ("ap_feedback" /
+/// "uplink_rtcp"). Unlike the rest of the spec — where unknown keys are
+/// ignored for forward compatibility — a typo here would silently run a
+/// *clean* scenario while claiming chaos coverage, so every key must be
+/// known, numeric, and in range; diagnostics carry the offending value's
+/// source line.
+bool parse_feedback_fault(const Json& obj, const std::string& path,
+                          double duration_s, fault::InjectorConfig& out,
+                          std::string* err) {
+  const auto fail = [&](const Json& v, const std::string& msg) {
+    if (err != nullptr) *err = at_line(v) + path + ": " + msg;
+    return false;
+  };
+  if (!obj.is_object()) return fail(obj, "must be an object");
+
+  static constexpr std::string_view kKnown[] = {
+      "loss_prob",  "dup_prob",       "reorder_prob", "reorder_delay_ms",
+      "spike_prob", "spike_delay_ms", "start_s",      "end_s"};
+  for (const auto& [key, value] : obj.object()) {
+    if (std::find(std::begin(kKnown), std::end(kKnown), key) ==
+        std::end(kKnown)) {
+      return fail(value, "unknown key \"" + key + "\"");
+    }
+    if (value.kind() != Json::Kind::kNumber) {
+      return fail(value, "\"" + key + "\" must be a number");
+    }
+  }
+
+  const auto prob = [&](const char* key, double& dst) {
+    const Json* v = obj.find(key);
+    if (v == nullptr) return true;
+    dst = v->number_or(0.0);
+    if (dst < 0.0 || dst > 1.0) {
+      return fail(*v, std::string("\"") + key + "\" must be in [0, 1]");
+    }
+    return true;
+  };
+  const auto delay = [&](const char* key, sim::Duration& dst) {
+    const Json* v = obj.find(key);
+    if (v == nullptr) return true;
+    const double ms = v->number_or(0.0);
+    if (ms < 0.0) {
+      return fail(*v, std::string("\"") + key + "\" must be >= 0");
+    }
+    dst = sim::Duration::from_seconds(ms / 1e3);
+    return true;
+  };
+
+  if (!prob("loss_prob", out.loss_prob)) return false;
+  if (!prob("dup_prob", out.dup_prob)) return false;
+  if (!prob("reorder_prob", out.reorder_prob)) return false;
+  if (!prob("spike_prob", out.spike_prob)) return false;
+  if (!delay("reorder_delay_ms", out.reorder_delay)) return false;
+  if (!delay("spike_delay_ms", out.spike_delay)) return false;
+
+  // Optional active window [start_s, end_s); defaults span the whole run.
+  // Only materialised when at least one bound is given, so an unwindowed
+  // section keeps InjectorConfig::active empty (always-on semantics).
+  const Json* start_j = obj.find("start_s");
+  const Json* end_j = obj.find("end_s");
+  if (start_j != nullptr || end_j != nullptr) {
+    const double start_s = start_j != nullptr ? start_j->number_or(0.0) : 0.0;
+    const double end_s = end_j != nullptr ? end_j->number_or(0.0) : duration_s;
+    if (start_s < 0.0) {
+      return fail(*start_j, "\"start_s\" must be >= 0");
+    }
+    if (end_s <= start_s) {
+      return fail(end_j != nullptr ? *end_j : *start_j,
+                  "\"end_s\" must be > start_s");
+    }
+    const auto at = [](double seconds) {
+      return sim::TimePoint::zero() + sim::Duration::from_seconds(seconds);
+    };
+    out.active = {fault::Window{at(start_s), at(end_s)}};
+  }
+
+  // The harness forces this again at injector-build time; setting it here
+  // keeps a parsed config faithful even if used directly.
+  out.only_feedback = true;
+  return true;
+}
+
 }  // namespace
 
 std::optional<ScenarioSpec> parse_scenario_spec(std::string_view text,
@@ -517,6 +615,44 @@ std::optional<ScenarioSpec> parse_scenario_spec(std::string_view text,
     c.stop_s = num_field(*churn, "stop_s", -1.0);
     c.max_bitrate_mbps = num_field(*churn, "max_bitrate_mbps", 2.5);
     c.fps = num_field(*churn, "fps", 30.0);
+  }
+
+  if (const Json* ladder = doc->find("zhuge_initial_ladder");
+      ladder != nullptr) {
+    const std::string name = ladder->string_or("");
+    if (!obs::parse_ladder_level(name, &spec.zhuge_initial_ladder)) {
+      return fail(at_line(*ladder) +
+                  "zhuge_initial_ladder must be "
+                  "full|clamped_predict|hold_only|pass_through");
+    }
+  }
+
+  if (const Json* ff = doc->find("feedback_faults"); ff != nullptr) {
+    if (!ff->is_object()) {
+      return fail(at_line(*ff) + "\"feedback_faults\" must be an object");
+    }
+    // Strict at this level too: only the two control-loop boundaries exist.
+    for (const auto& [key, value] : ff->object()) {
+      if (key != "ap_feedback" && key != "uplink_rtcp") {
+        return fail(at_line(value) + "feedback_faults: unknown key \"" + key +
+                    "\" (expected ap_feedback|uplink_rtcp)");
+      }
+    }
+    std::string ferr;
+    if (const Json* b = ff->find("ap_feedback"); b != nullptr) {
+      if (!parse_feedback_fault(*b, "feedback_faults.ap_feedback",
+                                spec.duration_s, spec.ap_feedback_fault,
+                                &ferr)) {
+        return fail(ferr);
+      }
+    }
+    if (const Json* b = ff->find("uplink_rtcp"); b != nullptr) {
+      if (!parse_feedback_fault(*b, "feedback_faults.uplink_rtcp",
+                                spec.duration_s, spec.uplink_rtcp_fault,
+                                &ferr)) {
+        return fail(ferr);
+      }
+    }
   }
 
   return spec;

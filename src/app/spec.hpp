@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "app/access_point.hpp"
+#include "fault/fault.hpp"
+#include "obs/slo.hpp"
 
 namespace zhuge::app {
 
@@ -73,8 +75,15 @@ class Json {
   /// to "line N: message".
   static std::optional<Json> parse(std::string_view text, std::string* err);
 
+  /// 1-based source line this value started on; 0 for built documents.
+  /// Spec validation uses it for "line N: ..." diagnostics on semantic
+  /// errors (unknown key, out-of-range value), not just syntax errors.
+  [[nodiscard]] int line() const { return line_; }
+  void set_line(int line) { line_ = line; }
+
  private:
   Kind kind_ = Kind::kNull;
+  int line_ = 0;
   bool b_ = false;
   double num_ = 0.0;
   std::string str_;
@@ -158,14 +167,31 @@ struct ScenarioSpec {
   std::vector<SpecFlow> flows;
   ChurnSpec churn{};
 
+  /// Feedback-path fault injection ("feedback_faults" section, strictly
+  /// validated): ap_feedback impairs the AP-rewritten feedback on its way
+  /// to the servers, uplink_rtcp impairs client RTCP before the AP. Both
+  /// run feedback-only; data packets pass untouched.
+  fault::InjectorConfig ap_feedback_fault{};
+  fault::InjectorConfig uplink_rtcp_fault{};
+
+  /// Pin the Zhuge degradation ladder ("zhuge_initial_ladder" key). The
+  /// default kFull runs the normal watchdog; any other level disables
+  /// watchdog transitions and holds every optimised flow at that level —
+  /// kPassThrough is the fingerprint-identical-to-Zhuge-off control.
+  obs::LadderLevel zhuge_initial_ladder = obs::LadderLevel::kFull;
+
   /// Total stations after group expansion.
   [[nodiscard]] int station_count() const;
   /// The group a station index falls in (station_count() must be > index).
   [[nodiscard]] const StationGroupSpec& station_group(int station) const;
 };
 
-/// Parse a spec document. Unknown keys are ignored (forward compatibility);
-/// structural errors (wrong JSON, no stations, bad enums) fail with `*err`.
+/// Parse a spec document. Unknown keys are ignored (forward compatibility)
+/// EXCEPT inside "feedback_faults", which is strictly validated — a typo'd
+/// fault key would silently run a clean scenario while claiming chaos
+/// coverage, so unknown keys, non-numeric values, and out-of-range values
+/// there fail with line-numbered errors. Structural errors (wrong JSON, no
+/// stations, bad enums) fail with `*err`.
 [[nodiscard]] std::optional<ScenarioSpec> parse_scenario_spec(
     std::string_view text, std::string* err);
 

@@ -15,14 +15,75 @@
 // never race on them; per-run headline metrics are aggregated *after* the
 // parallel phase, serially and in grid order, via export_sweep_metrics().
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "app/scenario.hpp"
 #include "obs/metrics.hpp"
 
 namespace zhuge::app {
+
+/// FNV-1a64 running hash over raw bit patterns. Doubles are hashed via
+/// bit_cast, not value conversion, so -0.0 vs 0.0 or NaN payload changes
+/// are detected — "bit-identical" means exactly that. Shared by the sweep
+/// fingerprints and the chaos-matrix verdict fingerprints.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void dist(const stats::Distribution& d) {
+    u64(d.count());
+    for (const double v : d.samples()) f64(v);
+  }
+  void series(const stats::TimeSeries& s) {
+    u64(s.points().size());
+    for (const auto& p : s.points()) {
+      u64(static_cast<std::uint64_t>(p.t.count_ns()));
+      f64(p.value);
+    }
+  }
+};
+
+/// Run `fn(0..n-1)` on `threads` workers pulling indices from a shared
+/// atomic counter; serial on the calling thread when threads <= 1. Each
+/// index is claimed exactly once, so `fn` needs no internal locking as
+/// long as distinct indices touch distinct state. Every parallel runner
+/// in the app layer (sweeps, spec sweeps, the chaos matrix) goes through
+/// this one pool so the bit-identity argument is made in one place.
+template <typename Fn>
+void run_indexed_pool(std::size_t n, unsigned threads, Fn&& fn) {
+  const std::size_t n_workers = std::min<std::size_t>(std::max(1u, threads), n);
+  if (n_workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
 
 /// One grid point: a labelled scenario configuration plus the seed to run
 /// it under. `seed` overrides `config.seed` at execution time so a seed

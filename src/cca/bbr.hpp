@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 
 #include "cca/cca.hpp"
 #include "stats/windowed.hpp"
@@ -43,7 +45,16 @@ class Bbr final : public CongestionControl {
       }
       min_rtt_.record(ev.now, r);
     }
-    if (ev.delivery_rate_bps > 0.0) max_bw_.record(ev.now, ev.delivery_rate_bps);
+    // App-limited samples measure the app's offered load, not the path:
+    // admit one only when it raises the estimate (it proves at least that
+    // much capacity exists). Without this filter an app that paces itself
+    // off our rate (video-over-TCP tracks 0.85x pacing) locks the max
+    // filter into a one-way ratchet down — after any fault knocks the
+    // estimate low, probing can never climb back out.
+    if (ev.delivery_rate_bps > 0.0 &&
+        (!ev.app_limited || ev.delivery_rate_bps > cached_bw_)) {
+      max_bw_.record(ev.now, ev.delivery_rate_bps);
+    }
 
     const double bw = bandwidth(ev.now);
     const double rtt = min_rtt(ev.now);
@@ -95,6 +106,24 @@ class Bbr final : public CongestionControl {
         break;
     }
 
+    // Debug trace, gated on ZHUGE_BBR_TRACE=1 (same idiom as the GCC
+    // trace): sampled state-machine internals for diagnosing why the model
+    // settled at a given operating point.
+    if (trace_enabled()) {
+      static double last_t = -1.0;
+      const double t = ev.now.count_ns() / 1e9;
+      if (t - last_t > 0.25) {
+        last_t = t;
+        std::fprintf(stderr,
+                     "BBR t=%.2f st=%d bw=%.3f rtt=%.1f gain=%.2f cwnd=%llu "
+                     "inflight=%llu drate=%.3f applim=%d ackrtt=%.1f\n",
+                     t, static_cast<int>(state_), bw / 1e6, rtt * 1e3,
+                     pacing_gain_, static_cast<unsigned long long>(cwnd_),
+                     static_cast<unsigned long long>(ev.bytes_in_flight),
+                     ev.delivery_rate_bps / 1e6, ev.app_limited ? 1 : 0,
+                     ev.rtt.to_seconds() * 1e3);
+      }
+    }
     const std::uint64_t bdp = bdp_bytes(bw, rtt);
     if (state_ == State::kProbeRtt) {
       cwnd_ = cfg_.min_cwnd;
@@ -128,6 +157,13 @@ class Bbr final : public CongestionControl {
   enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
   static constexpr std::array<double, 8> kGainCycle = {1.25, 0.75, 1, 1,
                                                        1,    1,    1, 1};
+
+  static bool trace_enabled() {
+    // zlint-allow(banned-api): read once, gates a stderr debug trace only;
+    // never feeds simulation state.
+    static const bool on = std::getenv("ZHUGE_BBR_TRACE") != nullptr;
+    return on;
+  }
 
   double bandwidth(TimePoint now) {
     const auto m = max_bw_.max(now);

@@ -24,6 +24,10 @@ struct AckEvent {
   std::uint64_t acked_bytes = 0;         ///< newly acknowledged bytes
   std::uint64_t bytes_in_flight = 0;     ///< after this ACK
   double delivery_rate_bps = 0.0;        ///< receiver-side rate estimate
+  /// The acked data was sent while the application (not cwnd/pacing) was
+  /// the limit, so delivery_rate_bps measures the app's offered load, not
+  /// path capacity. Rate-sampling CCAs must not treat it as a ceiling.
+  bool app_limited = false;
   net::AbcMark abc_echo = net::AbcMark::kNone;  ///< echoed ABC router mark
 };
 

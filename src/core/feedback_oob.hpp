@@ -125,7 +125,7 @@ class OobFeedbackUpdater {
           if (applied_shift_ < Duration::zero()) applied_shift_ = Duration::zero();
           credit -= retreated;
         }
-        if (cfg_.use_tokens && credit > Duration::zero()) {
+        if (cfg_.use_tokens && !conservative_ && credit > Duration::zero()) {
           token_history_.push_back(credit);
           token_total_ += credit;
         }
@@ -162,6 +162,32 @@ class OobFeedbackUpdater {
     const Duration actual = ack_delay(now);
     scheduler_->hold(std::move(p), now + actual);
   }
+
+  /// Full-mode entry for degraded ladder levels: hold at the
+  /// order-preserving floor only. No sampling, no token consumption, no
+  /// RNG draw — feedback order stays intact across the level change but
+  /// no new delay is ever added.
+  void schedule_feedback_floor(net::Packet p, TimePoint now) {
+    const TimePoint last = scheduler_->last_release(now);
+    const Duration floor = last > now ? last - now : Duration::zero();
+    last_sent_time_ = now + floor;
+    has_sent_ = true;
+    ZHUGE_METRIC_INC("feedback.oob.floor_acks");
+    scheduler_->hold(std::move(p), now + floor);
+  }
+
+  /// Conservative mode (ladder level ClampedPredict): negative deltas
+  /// still retreat pending holds — drain news must keep travelling fast —
+  /// but are never banked as tokens, and the existing bank is dropped on
+  /// entry. Stale credit cannot cancel delay applied after recovery.
+  void set_conservative(bool on) {
+    if (on && !conservative_) {
+      token_history_.clear();
+      token_total_ = Duration::zero();
+    }
+    conservative_ = on;
+  }
+  [[nodiscard]] bool conservative() const { return conservative_; }
 
   /// Outstanding token budget (tests / introspection).
   [[nodiscard]] Duration token_total() const { return token_total_; }
@@ -256,6 +282,7 @@ class OobFeedbackUpdater {
   TimePoint last_sent_time_;
   bool has_sent_ = false;
   Duration pending_accumulated_ = Duration::zero();  ///< ablation mode only
+  bool conservative_ = false;  ///< ladder ClampedPredict: no token banking
 };
 
 }  // namespace zhuge::core

@@ -11,30 +11,44 @@
 //                     computed delay (out-of-band), or drop (a client TWCC
 //                     that Zhuge replaces, in-band).
 //
-// Fail-open degradation (robustness; not in the paper): Zhuge sits in the
-// feedback path, so a broken Zhuge is strictly worse than no Zhuge — a
-// wedged optimiser that keeps holding ACKs or dropping client TWCC
-// silently starves the sender's congestion controller. The watchdog
-// therefore fails *open*: when uplink feedback goes silent while downlink
-// data keeps flowing, or when Fortune Teller predictions diverge
-// persistently from observed queue delays, the flow flushes every held
-// ACK, stops dropping client TWCC, and forwards everything untouched
-// (exactly the no-Zhuge baseline). Once feedback returns and predictions
-// re-converge, the flow re-activates with its learning state reset —
-// keeping only what is needed to preserve feedback order across the
-// outage.
+// Graded fail-open degradation (robustness; not in the paper): Zhuge sits
+// in the feedback path, so a broken Zhuge is strictly worse than no Zhuge
+// — a wedged optimiser that keeps holding ACKs or dropping client TWCC
+// silently starves the sender's congestion controller. Instead of a
+// binary degrade, the watchdog walks a ladder where each level strictly
+// weakens the intervention:
+//
+//   Full            all interventions active (the paper's mechanism)
+//   ClampedPredict  predictions staleness-bounded and clamped; negative
+//                   delay tokens are no longer banked (conservative OOB)
+//   HoldOnly        no fortunes are committed; client TWCC passes through
+//                   undropped; OOB feedback is held at the order-
+//                   preserving floor only (no new delay is ever added)
+//   PassThrough     everything forwarded untouched and nothing annotated
+//                   — byte-identical to running without Zhuge
+//
+// Escalation is per-trigger (prediction divergence floors at
+// ClampedPredict, feedback silence at HoldOnly), rate-limited by a
+// holddown, and flushes all held feedback. Recovery steps down one level
+// at a time after a settle period with live feedback and no divergence;
+// a re-escalation shortly after a step-down doubles the settle
+// (exponential backoff on reactivation probes) until a full recovery
+// resets it. Every move is recorded as an obs::LadderTransition for
+// recovery-SLO accounting (obs/slo.hpp).
 
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/feedback_inband.hpp"
 #include "core/feedback_oob.hpp"
 #include "core/fortune_teller.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/tracer.hpp"
 #include "queue/qdisc.hpp"
 #include "sim/random.hpp"
@@ -50,15 +64,34 @@ struct WatchdogConfig {
   bool enabled = true;
   /// Uplink silence longer than this — while downlink data keeps flowing
   /// and an updater exists (i.e. Zhuge is actively intercepting feedback)
-  /// — trips fail-open.
+  /// — escalates the ladder (floor: HoldOnly).
   Duration feedback_timeout = Duration::millis(500);
   /// EWMA of |observed queue wait − predicted delay| above this (ms),
-  /// sustained over min_divergence_samples, trips fail-open.
+  /// sustained over min_divergence_samples, escalates the ladder
+  /// (floor: ClampedPredict).
   double divergence_threshold_ms = 400.0;
   double divergence_alpha = 0.05;
   std::uint64_t min_divergence_samples = 200;
-  /// Minimum time spent degraded before re-activation is considered.
+  /// Minimum time spent at a degraded level before a step-down probe.
   Duration recovery_settle = Duration::millis(250);
+
+  // ---- graded-ladder tuning ----
+  /// Starting level. Anything but Full *pins* the ladder (no watchdog
+  /// transitions) — an ablation/verification override, e.g. PassThrough
+  /// must be fingerprint-identical to running without Zhuge.
+  obs::LadderLevel initial_level = obs::LadderLevel::kFull;
+  /// ClampedPredict: ceiling on any committed prediction.
+  double clamped_max_prediction_ms = 100.0;
+  /// ClampedPredict: with no own-flow dequeue seen this recently, the
+  /// teller's view of the queue is stale — predict zero instead.
+  Duration clamped_staleness = Duration::millis(250);
+  /// Minimum spacing between successive escalations (hysteresis), so one
+  /// sustained trigger climbs the ladder instead of leaping to the top.
+  Duration escalate_holddown = Duration::millis(200);
+  /// A re-escalation within this window of the previous step-down means
+  /// the probe failed: the settle period doubles (capped below).
+  Duration probe_failure_window = Duration::seconds(1);
+  Duration max_recovery_settle = Duration::seconds(4);
 };
 
 /// Everything tunable about one Zhuge flow.
@@ -77,7 +110,8 @@ struct UplinkDecision {
   Duration delay = Duration::zero();  ///< meaningful for kDelay
 };
 
-/// Degradation state of one flow.
+/// Binary degradation view kept for callers that only care whether any
+/// intervention is still running (kActive == ladder level Full).
 enum class FlowMode : std::uint8_t { kActive, kDegraded };
 
 /// Per-flow Zhuge state machine.
@@ -93,12 +127,24 @@ class ZhugeFlow {
         cfg_(cfg),
         send_feedback_(std::move(send_feedback)),
         teller_(cfg.fortune),
-        divergence_ms_(cfg.watchdog.divergence_alpha) {}
+        divergence_ms_(cfg.watchdog.divergence_alpha),
+        level_(cfg.watchdog.initial_level),
+        settle_(cfg.watchdog.recovery_settle),
+        pinned_(cfg.watchdog.initial_level != obs::LadderLevel::kFull) {
+    if (pinned_) {
+      ladder_log_.push_back(obs::LadderTransition{
+          0, 0, obs::LadderLevel::kFull, level_, obs::LadderReason::kForced});
+    }
+  }
 
   /// Feed departures of this flow from the downlink network-layer queue.
   /// `queue_empty_after`: the flow's queue is empty after this departure.
   void on_dequeue(const net::Packet& p, TimePoint now, bool queue_empty_after = false) {
     teller_.on_dequeue(p.size_bytes, now, queue_empty_after);
+    if (p.flow == flow_) {
+      last_own_dequeue_ = now;
+      saw_own_dequeue_ = true;
+    }
     // Prediction-quality tracking for the watchdog: compare the fortune
     // told at enqueue with the queue wait actually experienced. Own-flow
     // packets only (shared queues feed every teller every departure).
@@ -111,12 +157,26 @@ class ZhugeFlow {
 
   /// Predict the fortune of a downlink data packet just before it is
   /// offered to the qdisc (the packet sees the queue in front of it, §2.3)
-  /// and annotate `p.predicted_delay_ms`.
+  /// and annotate `p.predicted_delay_ms`. At PassThrough nothing is
+  /// predicted or annotated — the packet must be indistinguishable from a
+  /// no-Zhuge run.
   [[nodiscard]] Duration predict_downlink(net::Packet& p, const queue::Qdisc& qdisc) {
     last_downlink_ = sim_.now();
     saw_downlink_ = true;
+    if (level_ == obs::LadderLevel::kPassThrough) return Duration::zero();
     const auto pred = teller_.predict(sim_.now(), qdisc, flow_);
-    const Duration total = pred.total();
+    Duration total = pred.total();
+    if (level_ == obs::LadderLevel::kClampedPredict) {
+      const bool stale = !saw_own_dequeue_ ||
+                         sim_.now() - last_own_dequeue_ > cfg_.watchdog.clamped_staleness;
+      if (stale) {
+        total = Duration::zero();
+      } else {
+        const Duration cap =
+            Duration::from_millis(cfg_.watchdog.clamped_max_prediction_ms);
+        if (total > cap) total = cap;
+      }
+    }
     p.predicted_delay_ms = total.to_millis();
     return total;
   }
@@ -124,11 +184,11 @@ class ZhugeFlow {
   /// Commit the predicted fortune to the feedback state. Call only after
   /// the packet was actually accepted by the qdisc: a tail-dropped packet
   /// must not be reported as (eventually) received — the AP sees the drop
-  /// and keeps the loss visible to the sender. No-op while degraded: a
-  /// failed-open flow records no fortunes (the client's own feedback is
+  /// and keeps the loss visible to the sender. No-op from HoldOnly up:
+  /// a failed-open flow records no fortunes (the client's own feedback is
   /// flowing instead).
   void commit_downlink(bool is_rtp, const net::RtpHeader* rtp, Duration total) {
-    if (mode_ == FlowMode::kDegraded) return;
+    if (level_ >= obs::LadderLevel::kHoldOnly) return;
     if (is_rtp && rtp != nullptr) {
       inband(rtp->ssrc).on_rtp_packet(*rtp, total);
     } else {
@@ -148,11 +208,25 @@ class ZhugeFlow {
 
   /// Handle an uplink packet of the reverse flow end to end: drop it,
   /// forward it immediately, or hold it on the retreatable release queue.
-  /// Returns the action taken (for the AP's counters). While degraded,
-  /// everything passes through untouched (fail-open).
+  /// Returns the action taken (for the AP's counters). Intervention
+  /// strictly weakens as the ladder level rises; at PassThrough everything
+  /// passes untouched (fail-open).
   UplinkAction handle_uplink(net::Packet p) {
     touch_uplink();
-    if (mode_ == FlowMode::kDegraded) {
+    if (level_ == obs::LadderLevel::kPassThrough) {
+      send_feedback_(std::move(p));
+      return UplinkAction::kForward;
+    }
+    if (level_ == obs::LadderLevel::kHoldOnly) {
+      // No TWCC drops and no new delay. OOB feedback only rides the
+      // scheduler (at the order-preserving floor) while earlier holds are
+      // still pending, so the level change can never reorder feedback;
+      // with nothing pending it passes straight through.
+      if (!p.is_rtcp() && oob_ && oob_->pending_holds() > 0 &&
+          ((p.is_tcp() && p.tcp().is_ack) || !p.is_rtp())) {
+        oob_->schedule_feedback_floor(std::move(p), sim_.now());
+        return UplinkAction::kDelay;
+      }
       send_feedback_(std::move(p));
       return UplinkAction::kForward;
     }
@@ -174,7 +248,10 @@ class ZhugeFlow {
   /// (introspection form used by unit tests; does not forward anything).
   [[nodiscard]] UplinkDecision on_uplink(const net::Packet& p) {
     touch_uplink();
-    if (mode_ == FlowMode::kDegraded) {
+    if (level_ == obs::LadderLevel::kPassThrough) {
+      return {UplinkAction::kForward, Duration::zero()};
+    }
+    if (level_ == obs::LadderLevel::kHoldOnly) {
       return {UplinkAction::kForward, Duration::zero()};
     }
     if (p.is_rtcp()) {
@@ -202,22 +279,29 @@ class ZhugeFlow {
   /// open for, and a recurring timer would keep an otherwise-finished
   /// simulation alive forever).
   void check_watchdog(TimePoint now) {
-    if (!cfg_.watchdog.enabled) return;
-    if (mode_ == FlowMode::kActive) {
-      if (feedback_silent(now)) {
-        degrade(now, "feedback_silence");
-      } else if (divergence_tripped()) {
-        degrade(now, "prediction_divergence");
+    if (!cfg_.watchdog.enabled || pinned_) return;
+    if (level_ < obs::LadderLevel::kPassThrough) {
+      const bool silence = feedback_silent(now);
+      const bool diverged = divergence_tripped();
+      if (silence || diverged) {
+        const bool holddown_ok =
+            !has_escalated_ ||
+            now - last_escalation_ >= cfg_.watchdog.escalate_holddown;
+        if (holddown_ok) {
+          escalate(now, silence ? obs::LadderReason::kFeedbackSilence
+                                : obs::LadderReason::kPredictionDivergence);
+        }
+        return;
       }
-      return;
     }
-    // Degraded: re-activate once feedback is demonstrably alive again,
-    // predictions are no longer wildly off, and we have sat out the
-    // settle period.
-    if (now - degraded_since_ < cfg_.watchdog.recovery_settle) return;
+    // Recovery probe: step down one level once feedback is demonstrably
+    // alive again, predictions are no longer wildly off, and we have sat
+    // out the (possibly backed-off) settle period.
+    if (level_ == obs::LadderLevel::kFull) return;
+    if (now - level_since_ < settle_) return;
     const bool uplink_alive =
         saw_uplink_ && now - last_uplink_ < cfg_.watchdog.feedback_timeout / 2;
-    if (uplink_alive && !divergence_tripped()) reactivate(now);
+    if (uplink_alive && !divergence_tripped()) step_down(now);
   }
 
   /// Flush every held/pending feedback artefact immediately. Called on
@@ -244,13 +328,31 @@ class ZhugeFlow {
                 {"delta_ms", delta.to_millis()});
   }
 
+  /// Test/ablation hook: jump to `level` (reason Forced) and pin the
+  /// ladder there. Escalating moves flush held feedback like a watchdog
+  /// escalation would.
+  void force_level(obs::LadderLevel level) {
+    pinned_ = true;
+    if (level == level_) return;
+    set_level(sim_.now(), level, obs::LadderReason::kForced);
+  }
+
   [[nodiscard]] FortuneTeller& fortune_teller() { return teller_; }
   [[nodiscard]] const net::FlowId& flow() const { return flow_; }
   [[nodiscard]] bool is_inband() const { return inband_ != nullptr; }
-  [[nodiscard]] FlowMode mode() const { return mode_; }
+  [[nodiscard]] FlowMode mode() const {
+    return level_ == obs::LadderLevel::kFull ? FlowMode::kActive
+                                             : FlowMode::kDegraded;
+  }
+  [[nodiscard]] obs::LadderLevel level() const { return level_; }
+  [[nodiscard]] const std::vector<obs::LadderTransition>& ladder_log() const {
+    return ladder_log_;
+  }
+  [[nodiscard]] Duration current_settle() const { return settle_; }
   [[nodiscard]] std::uint64_t degrade_count() const { return degrade_count_; }
   [[nodiscard]] std::uint64_t reactivate_count() const { return reactivate_count_; }
   [[nodiscard]] std::uint64_t flushed_on_teardown() const { return flushed_on_teardown_; }
+  [[nodiscard]] std::uint64_t divergence_samples() const { return divergence_samples_; }
   [[nodiscard]] std::size_t pending_feedback() const {
     std::size_t n = 0;
     if (oob_) n += oob_->pending_holds();
@@ -275,25 +377,69 @@ class ZhugeFlow {
            divergence_ms_.value() > cfg_.watchdog.divergence_threshold_ms;
   }
 
-  void degrade(TimePoint now, const char* reason) {
-    mode_ = FlowMode::kDegraded;
-    degraded_since_ = now;
-    ++degrade_count_;
-    const std::size_t flushed = teardown();
-    ZHUGE_METRIC_INC("zhuge.degrade");
-    ZHUGE_TRACE(now, "zhuge", "degrade", {"flushed", double(flushed)},
-                {"silence", std::string(reason) == "feedback_silence" ? 1.0 : 0.0});
-  }
-
-  void reactivate(TimePoint now) {
-    mode_ = FlowMode::kActive;
-    ++reactivate_count_;
-    if (oob_) oob_->reset_after_outage();
-    if (inband_) inband_->reset_after_outage();
+  /// Move to `to`, recording the transition and applying per-level side
+  /// effects. Divergence evidence resets on every move: samples gathered
+  /// under one intervention regime say nothing about the next one.
+  void set_level(TimePoint now, obs::LadderLevel to, obs::LadderReason reason) {
+    const obs::LadderLevel from = level_;
+    if (to > from) teardown();  // escalation must never strand feedback
+    level_ = to;
+    level_since_ = now;
     divergence_ms_.reset();
     divergence_samples_ = 0;
+    if (oob_) oob_->set_conservative(to == obs::LadderLevel::kClampedPredict);
+    ladder_log_.push_back(
+        obs::LadderTransition{now.count_ns(), 0, from, to, reason});
+    ZHUGE_TRACE(now, "zhuge", "ladder",
+                {"from", static_cast<double>(static_cast<int>(from))},
+                {"to", static_cast<double>(static_cast<int>(to))},
+                {"reason", static_cast<double>(static_cast<int>(reason))});
+  }
+
+  void escalate(TimePoint now, obs::LadderReason reason) {
+    // Per-trigger floor: divergence says predictions are wrong (stop
+    // trusting them), silence says the whole loop is broken (stop
+    // intervening). A repeat of the same trigger climbs one more level.
+    const obs::LadderLevel floor =
+        reason == obs::LadderReason::kFeedbackSilence
+            ? obs::LadderLevel::kHoldOnly
+            : obs::LadderLevel::kClampedPredict;
+    obs::LadderLevel to = std::max(
+        static_cast<obs::LadderLevel>(static_cast<std::uint8_t>(level_) + 1),
+        floor);
+    if (to > obs::LadderLevel::kPassThrough) to = obs::LadderLevel::kPassThrough;
+    // A failed recovery probe (re-escalation shortly after a step-down)
+    // doubles the settle period — exponential backoff on reactivation.
+    if (has_stepped_down_ &&
+        now - last_step_down_ <= cfg_.watchdog.probe_failure_window) {
+      settle_ = std::min(settle_ * 2.0, cfg_.watchdog.max_recovery_settle);
+    }
+    last_escalation_ = now;
+    has_escalated_ = true;
+    ++degrade_count_;
+    set_level(now, to, reason);
+    ZHUGE_METRIC_INC("zhuge.degrade");
+  }
+
+  void step_down(TimePoint now) {
+    const auto from = level_;
+    const auto to =
+        static_cast<obs::LadderLevel>(static_cast<std::uint8_t>(level_) - 1);
+    last_step_down_ = now;
+    has_stepped_down_ = true;
+    ++reactivate_count_;
+    set_level(now, to, obs::LadderReason::kRecoveryProbe);
+    // Crossing back below HoldOnly re-enables commits after a suspension:
+    // the updaters' learning state (sequence unwrapper, delta history,
+    // token bank) is outage-era garbage by now — wipe it before the first
+    // post-recovery fortune lands. The release clock is kept either way;
+    // feedback order must survive the outage.
+    if (from >= obs::LadderLevel::kHoldOnly || to == obs::LadderLevel::kFull) {
+      if (oob_) oob_->reset_after_outage();
+      if (inband_) inband_->reset_after_outage();
+    }
+    if (to == obs::LadderLevel::kFull) settle_ = cfg_.watchdog.recovery_settle;
     ZHUGE_METRIC_INC("zhuge.reactivate");
-    ZHUGE_TRACE(now, "zhuge", "reactivate");
   }
 
   void touch_uplink() {
@@ -305,6 +451,7 @@ class ZhugeFlow {
     if (!oob_) {
       oob_ = std::make_unique<OobFeedbackUpdater>(sim_, cfg_.oob, rng_,
                                                   send_feedback_);
+      oob_->set_conservative(level_ == obs::LadderLevel::kClampedPredict);
     }
     return *oob_;
   }
@@ -325,14 +472,26 @@ class ZhugeFlow {
   std::unique_ptr<OobFeedbackUpdater> oob_;
   std::unique_ptr<InbandFeedbackUpdater> inband_;
 
-  FlowMode mode_ = FlowMode::kActive;
   TimePoint last_uplink_;
   TimePoint last_downlink_;
-  TimePoint degraded_since_;
+  TimePoint last_own_dequeue_;
   bool saw_uplink_ = false;
   bool saw_downlink_ = false;
+  bool saw_own_dequeue_ = false;
   stats::Ewma divergence_ms_;
   std::uint64_t divergence_samples_ = 0;
+
+  // ---- ladder state ----
+  obs::LadderLevel level_;
+  TimePoint level_since_;
+  TimePoint last_escalation_;
+  TimePoint last_step_down_;
+  Duration settle_;
+  bool pinned_ = false;
+  bool has_escalated_ = false;
+  bool has_stepped_down_ = false;
+  std::vector<obs::LadderTransition> ladder_log_;
+
   std::uint64_t degrade_count_ = 0;
   std::uint64_t reactivate_count_ = 0;
   std::uint64_t flushed_on_teardown_ = 0;

@@ -12,6 +12,12 @@ Injector::Injector(sim::Simulator& simulator, sim::Rng rng, InjectorConfig cfg,
 void Injector::handle(net::Packet p) {
   const TimePoint now = sim_.now();
 
+  if (cfg_.only_feedback && !is_feedback(p)) {
+    ++bypassed_;
+    sink_(std::move(p));  // not even counted as passed: never entered
+    return;
+  }
+
   if (in_windows(cfg_.blackouts, now)) {
     ++blackout_drops_;
     ZHUGE_METRIC_INC("fault.blackout_drops");
@@ -64,6 +70,15 @@ void Injector::handle(net::Packet p) {
     ++reordered_;
     ZHUGE_METRIC_INC("fault.reordered");
     extra += cfg_.reorder_delay;  // later packets overtake this one
+  }
+
+  if (probabilistic_active && cfg_.spike_prob > 0.0 &&
+      rng_.chance(cfg_.spike_prob)) {
+    ++delay_spiked_;
+    ZHUGE_METRIC_INC("fault.delay_spiked");
+    ZHUGE_TRACE(now, "fault", "delay_spike", {"bytes", double(p.size_bytes)},
+                {"spike_ms", cfg_.spike_delay.to_millis()});
+    extra += cfg_.spike_delay;
   }
 
   deliver(std::move(p), extra);

@@ -52,6 +52,8 @@ struct InjectorConfig {
   double dup_prob = 0.0;           ///< per-packet duplication
   double reorder_prob = 0.0;       ///< per-packet late delivery
   Duration reorder_delay = Duration::millis(5);  ///< how late a reordered packet lands
+  double spike_prob = 0.0;         ///< per-packet delay spike
+  Duration spike_delay = Duration::millis(80);   ///< spike magnitude
   std::vector<Window> blackouts;   ///< drop everything inside these windows
   Duration fade_delay = Duration::zero();        ///< extra latency during fades
   std::vector<Window> fades;       ///< fade_delay applies inside these windows
@@ -60,10 +62,15 @@ struct InjectorConfig {
   /// fault *clears* and recovery can be asserted. Blackouts and fades are
   /// already windowed.
   std::vector<Window> active;
+  /// When set, only feedback packets (RTCP, or TCP ACK-only segments) go
+  /// through the fault pipeline; everything else passes straight to the
+  /// sink without consuming a single RNG draw, so adding a feedback-path
+  /// fault never perturbs co-located data traffic.
+  bool only_feedback = false;
 
   [[nodiscard]] bool any() const {
     return loss_prob > 0.0 || burst.enabled() || dup_prob > 0.0 ||
-           reorder_prob > 0.0 || !blackouts.empty() ||
+           reorder_prob > 0.0 || spike_prob > 0.0 || !blackouts.empty() ||
            (fade_delay > Duration::zero() && !fades.empty());
   }
 };
@@ -81,13 +88,19 @@ struct FaultPlan {
   InjectorConfig uplink_wireless{};    ///< client -> AP wireless delivery
   InjectorConfig downlink_wireless{};  ///< AP -> client wireless delivery
   InjectorConfig uplink_wan{};         ///< AP -> servers wired delivery
+  /// Control-loop boundaries: the AP-rewritten feedback on its way back to
+  /// the sender (OOB delay-token ACKs and AP-constructed TWCC), and the
+  /// client -> AP uplink RTCP before the AP sees it. Both default to
+  /// feedback-only filtering; the harness enforces it at build time.
+  InjectorConfig ap_feedback{};        ///< AP -> sender rewritten feedback
+  InjectorConfig uplink_rtcp{};        ///< client -> AP feedback ingress
   std::vector<ClockJump> clock_jumps;  ///< steps applied to the AP clock
   std::vector<TimePoint> ap_restarts;  ///< mid-flow AP state wipes
 
   [[nodiscard]] bool any() const {
     return downlink_wan.any() || uplink_wireless.any() ||
-           downlink_wireless.any() || uplink_wan.any() ||
-           !clock_jumps.empty() || !ap_restarts.empty();
+           downlink_wireless.any() || uplink_wan.any() || ap_feedback.any() ||
+           uplink_rtcp.any() || !clock_jumps.empty() || !ap_restarts.empty();
   }
 };
 
@@ -118,7 +131,14 @@ class Injector {
   [[nodiscard]] std::uint64_t blackout_drops() const { return blackout_drops_; }
   [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
   [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+  [[nodiscard]] std::uint64_t delay_spiked() const { return delay_spiked_; }
+  [[nodiscard]] std::uint64_t bypassed() const { return bypassed_; }
   [[nodiscard]] bool in_burst() const { return burst_bad_; }
+
+  /// The only_feedback match: control traffic carrying delay feedback.
+  [[nodiscard]] static bool is_feedback(const net::Packet& p) {
+    return p.is_rtcp() || (p.is_tcp() && p.tcp().is_ack);
+  }
 
  private:
   static bool in_windows(const std::vector<Window>& ws, TimePoint t) {
@@ -142,6 +162,8 @@ class Injector {
   std::uint64_t blackout_drops_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
+  std::uint64_t delay_spiked_ = 0;
+  std::uint64_t bypassed_ = 0;
 };
 
 }  // namespace zhuge::fault

@@ -156,14 +156,34 @@ void RtpSender::handle_twcc(const net::TwccFeedback& fb) {
   // Transport-wide loss: sequence gaps between consecutive feedback ranges
   // are packets the path dropped (tail drops stay visible under Zhuge
   // because the AP never reports packets it discarded).
+  // A much larger gap than any plausible drop burst means the *feedback*
+  // stream was interrupted (uplink blackout, AP fail-open transition):
+  // the unreported packets were delivered, their reports died. Rebase
+  // instead of charging the gap as data loss.
+  if (twcc_loss_base_ >= 0 &&
+      min_seq - twcc_loss_base_ > cfg_.feedback_gap_forgive_pkts) {
+    twcc_loss_base_ = min_seq;
+  }
   if (twcc_loss_base_ >= 0 && max_seq >= twcc_loss_base_) {
-    const auto expected = static_cast<double>(max_seq - twcc_loss_base_ + 1);
-    const auto received = static_cast<double>(fb.entries.size());
-    const double loss =
-        expected > 0 ? std::max(0.0, 1.0 - received / expected) : 0.0;
-    // Smooth across feedbacks (one report covers ~25 ms only).
-    last_loss_fraction_ = 0.7 * last_loss_fraction_ + 0.3 * loss;
-    gcc_.on_loss_report(last_loss_fraction_, sim_.now());
+    const std::int64_t expected = max_seq - twcc_loss_base_ + 1;
+    const std::int64_t received = static_cast<std::int64_t>(fb.entries.size());
+    // Pool reports until the window holds enough packets for the fraction
+    // to be meaningful. At low send rates a report can cover 1-2 packets,
+    // where a single missing report reads as 50-100% loss — one such
+    // report right after a recovery re-triggers the loss cut and traps the
+    // controller at its floor.
+    twcc_loss_expected_ += expected;
+    twcc_loss_received_ += std::min(received, expected);
+    if (twcc_loss_expected_ >= cfg_.loss_window_min_pkts) {
+      const double loss = std::max(
+          0.0, 1.0 - static_cast<double>(twcc_loss_received_) /
+                         static_cast<double>(twcc_loss_expected_));
+      // Smooth across windows (one covers a few tens of ms only).
+      last_loss_fraction_ = 0.7 * last_loss_fraction_ + 0.3 * loss;
+      gcc_.on_loss_report(last_loss_fraction_, sim_.now());
+      twcc_loss_expected_ = 0;
+      twcc_loss_received_ = 0;
+    }
   }
   twcc_loss_base_ = max_seq + 1;
 

@@ -51,6 +51,20 @@ class RtpSender {
     /// congestion controller decides.
     double max_rtx_rate_fraction = 0.25;
     Duration rtx_rate_window = Duration::millis(200);
+    /// Inter-report TWCC seq gaps larger than this are treated as a
+    /// feedback-path outage (the reports died, not the data) and excluded
+    /// from the transport-wide loss estimate. A healthy feedback stream
+    /// has gap 0; genuine tail-drop bursts between reports stay well
+    /// under this. Without the guard, the first report after a feedback
+    /// blackout charges the whole silent interval as data loss and GCC
+    /// collapses to its floor even though every packet was delivered.
+    std::int64_t feedback_gap_forgive_pkts = 50;
+    /// Transport-wide loss is computed over a pooled window of at least
+    /// this many expected packets, accumulated across TWCC reports. A
+    /// single report can cover only 1-2 packets at low rates, where one
+    /// genuinely lost packet reads as 50-100% loss and re-triggers the GCC
+    /// loss cut right as the controller climbs out of a fault.
+    std::int64_t loss_window_min_pkts = 4;
   };
 
   RtpSender(sim::Simulator& simulator, sim::Rng& rng, net::FlowId flow,
@@ -126,6 +140,8 @@ class RtpSender {
 
   double last_loss_fraction_ = 0.0;
   std::int64_t twcc_loss_base_ = 0;  ///< next expected unwrapped TWCC seq
+  std::int64_t twcc_loss_expected_ = 0;  ///< pooled window: expected pkts
+  std::int64_t twcc_loss_received_ = 0;  ///< pooled window: reported pkts
   stats::WindowedRate rtx_rate_{sim::Duration::millis(200)};
   std::uint64_t rtx_suppressed_ = 0;
 };

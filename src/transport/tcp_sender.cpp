@@ -89,6 +89,7 @@ void TcpSender::try_send() {
     seg.frame_id = chunk.frame_id;
     seg.capture_time = chunk.capture_time;
     seg.frame_end_seq = chunk.end_seq;
+    seg.delivered_at_send = delivered_bytes_;
 
     in_flight_.emplace(next_seq_, seg);
     bytes_in_flight_ += take;
@@ -105,6 +106,12 @@ void TcpSender::try_send() {
           Duration::from_seconds(static_cast<double>(take + cfg_.header_bytes) * 8.0 / pace);
     }
     if (rto_timer_ == 0) arm_rto();
+  }
+  // Ran out of data with window to spare: everything outstanding was sent
+  // while the app was the limit, so delivery-rate samples from those ACKs
+  // must not be read as path capacity (Linux/BBR app_limited marking).
+  if (bytes_in_flight_ + cfg_.mss <= cca_->cwnd_bytes()) {
+    app_limited_until_ = next_seq_;
   }
 }
 
@@ -140,18 +147,36 @@ void TcpSender::on_ack(const Packet& ack) {
     }
   }
 
-  // Cumulative ACK: drop fully-acked segments.
+  // Cumulative ACK: drop fully-acked segments. The newest first-transmit
+  // segment acked here anchors the delivery-rate sample (Karn's rule:
+  // retransmitted segments have ambiguous flight times).
   std::uint64_t newly_acked = 0;
+  bool have_sample = false;
+  SentSegment sample_seg{};
   while (!in_flight_.empty()) {
     auto it = in_flight_.begin();
     if (it->second.end_seq > h.ack) break;
     newly_acked += it->second.end_seq - it->first;
+    if (it->second.transmissions == 1) {
+      sample_seg = it->second;
+      have_sample = true;
+    }
     in_flight_.erase(it);
   }
+  double delivery_sample_bps = 0.0;
   if (newly_acked > 0) {
     bytes_in_flight_ -= std::min(bytes_in_flight_, newly_acked);
     snd_una_ = h.ack;
+    delivered_bytes_ += newly_acked;
     delivered_rate_.record(now, static_cast<std::int64_t>(newly_acked));
+    if (have_sample && now > sample_seg.sent_time) {
+      // Bytes delivered across this segment's flight, over the flight
+      // time: equals path throughput when the pipe stayed busy, and
+      // crucially reflects the probe gain for the probe RTT alone.
+      delivery_sample_bps =
+          static_cast<double>(delivered_bytes_ - sample_seg.delivered_at_send) *
+          8.0 / (now - sample_seg.sent_time).to_seconds();
+    }
     rto_backoff_ = 0;
     dupacks_ = 0;
     arm_rto();
@@ -186,7 +211,10 @@ void TcpSender::on_ack(const Packet& ack) {
   ev.rtt = rtt;
   ev.acked_bytes = newly_acked;
   ev.bytes_in_flight = bytes_in_flight_;
-  ev.delivery_rate_bps = delivered_rate_.rate_bps(now).value_or(0.0);
+  ev.delivery_rate_bps = delivery_sample_bps > 0.0
+                             ? delivery_sample_bps
+                             : delivered_rate_.rate_bps(now).value_or(0.0);
+  ev.app_limited = app_limited_until_ > 0 && h.ack <= app_limited_until_;
   ev.abc_echo = h.abc_echo;
   cca_->on_ack(ev);
 

@@ -91,6 +91,12 @@ class TcpSender {
     std::uint32_t frame_id;
     TimePoint capture_time;
     std::uint64_t frame_end_seq;
+    /// Cumulative bytes delivered when this segment left: the ACK-time
+    /// delivery-rate sample is (delivered_now - delivered_at_send) over
+    /// the segment's flight time (BBR's rate estimator). A windowed
+    /// average would dilute the one-RTT 1.25x probe cycle below the max
+    /// filter's notice and bandwidth could never be rediscovered.
+    std::uint64_t delivered_at_send = 0;
     int transmissions = 1;
   };
 
@@ -119,6 +125,11 @@ class TcpSender {
   std::uint64_t snd_una_ = 0;   ///< oldest unacknowledged byte
   std::map<std::uint64_t, SentSegment> in_flight_;  ///< by start seq
   std::uint64_t bytes_in_flight_ = 0;
+  /// ACKs for data at or below this offset carry delivery-rate samples
+  /// taken while the app (not cwnd/pacing) limited sending — the sample
+  /// measures offered load, not path capacity (BBR-style app_limited).
+  std::uint64_t app_limited_until_ = 0;
+  std::uint64_t delivered_bytes_ = 0;  ///< cumulative delivered (see above)
 
   // RTT estimation (timestamp echo; Karn's rule via transmissions==1).
   Duration srtt_ = Duration::zero();

@@ -373,21 +373,32 @@ TEST(Watchdog, FeedbackSilenceFailsOpenThenRecovers) {
     EXPECT_EQ(zf.mode(), core::FlowMode::kDegraded);  // settle not elapsed
   });
 
-  // Feedback demonstrably alive after the settle period: re-activate.
+  // Feedback demonstrably alive after the settle period: the ladder steps
+  // down one level per probe (HoldOnly -> ClampedPredict), not straight
+  // back to Full.
   sim.schedule_at(at(450), [&] {
     EXPECT_EQ(zf.handle_uplink(tcp_ack(flow, 3)), core::UplinkAction::kForward);
     zf.check_watchdog(sim.now());
+    EXPECT_EQ(zf.mode(), core::FlowMode::kDegraded);
+    EXPECT_EQ(zf.level(), obs::LadderLevel::kClampedPredict);
+  });
+
+  // Another settle period with live feedback completes the recovery.
+  sim.schedule_at(at(600), [&] {
+    EXPECT_EQ(zf.handle_uplink(tcp_ack(flow, 4)), core::UplinkAction::kDelay);
+    zf.check_watchdog(sim.now());
     EXPECT_EQ(zf.mode(), core::FlowMode::kActive);
+    EXPECT_EQ(zf.level(), obs::LadderLevel::kFull);
   });
 
   sim.run();
   EXPECT_EQ(zf.degrade_count(), 1u);
-  EXPECT_EQ(zf.reactivate_count(), 1u);
+  EXPECT_EQ(zf.reactivate_count(), 2u);
   // Every ACK reached the server: 1 (released or flushed), 2 and 3
-  // (degraded pass-through).
+  // (degraded pass-through), 4 (held then released).
   std::vector<std::uint64_t> sorted = to_server;
   std::sort(sorted.begin(), sorted.end());
-  EXPECT_EQ(sorted, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(sorted, (std::vector<std::uint64_t>{1, 2, 3, 4}));
 }
 
 TEST(Watchdog, PredictionDivergenceFailsOpen) {

@@ -230,5 +230,53 @@ TEST(FlowSchedule, StaticFlowsComeFirstAndClampToRun) {
   EXPECT_DOUBLE_EQ(schedule[1].stop_s, 6.0);
 }
 
+// ---------------------------------------------------------------------------
+// Known-bad fixtures: one file per strict-validation rejection path
+// ---------------------------------------------------------------------------
+
+// The feedback-fault and ladder sections are validated strictly (a typo
+// would silently run a *clean* scenario while claiming chaos coverage), so
+// every rejection path gets a checked-in fixture pinning both the message
+// and the "line N:" source anchor a user needs to find the mistake.
+TEST(ScenarioSpecParse, KnownBadFixturesRejectWithLineNumbers) {
+  struct Case {
+    const char* file;
+    const char* expect;  ///< full parse error, line prefix included
+  };
+  const Case cases[] = {
+      {"fault_unknown_key.json",
+       "line 6: feedback_faults.ap_feedback: unknown key \"los_prob\""},
+      {"fault_value_not_number.json",
+       "line 6: feedback_faults.ap_feedback: \"loss_prob\" must be a number"},
+      {"fault_prob_out_of_range.json",
+       "line 6: feedback_faults.uplink_rtcp: \"loss_prob\" must be in [0, 1]"},
+      {"fault_negative_delay.json",
+       "line 6: feedback_faults.ap_feedback: \"spike_delay_ms\" must be >= 0"},
+      {"fault_negative_start.json",
+       "line 6: feedback_faults.uplink_rtcp: \"start_s\" must be >= 0"},
+      {"fault_window_inverted.json",
+       "line 6: feedback_faults.uplink_rtcp: \"end_s\" must be > start_s"},
+      {"fault_unknown_boundary.json",
+       "line 6: feedback_faults: unknown key \"client_rtcp\" "
+       "(expected ap_feedback|uplink_rtcp)"},
+      {"fault_section_not_object.json",
+       "line 5: \"feedback_faults\" must be an object"},
+      {"fault_boundary_not_object.json",
+       "line 6: feedback_faults.ap_feedback: must be an object"},
+      {"ladder_unknown_level.json",
+       "line 5: zhuge_initial_ladder must be "
+       "full|clamped_predict|hold_only|pass_through"},
+  };
+  for (const auto& c : cases) {
+    const std::string path =
+        std::string(ZHUGE_SPEC_FIXTURE_DIR) + "/" + c.file;
+    std::string err;
+    const auto spec = load_scenario_spec(path, &err);
+    EXPECT_FALSE(spec.has_value()) << c.file;
+    // load_scenario_spec prefixes the path; the rest must match exactly.
+    EXPECT_EQ(err, path + ": " + c.expect) << c.file;
+  }
+}
+
 }  // namespace
 }  // namespace zhuge::app
