@@ -1,103 +1,5 @@
+// The Fortune Teller is fully inline (see fortune_teller.hpp): on_dequeue()
+// and predict() are the AP's per-packet hot path and must fuse with the SoA
+// windowed estimators they drive. This TU only anchors the zhuge_core
+// library target.
 #include "core/fortune_teller.hpp"
-
-#include <algorithm>
-
-#include "obs/metrics.hpp"
-#include "obs/tracer.hpp"
-
-namespace zhuge::core {
-
-void FortuneTeller::on_dequeue(std::int64_t bytes, TimePoint now,
-                               bool queue_empty_after) {
-  tx_rate_.record(now, bytes);
-
-  if (last_dequeue_.has_value()) {
-    const Duration gap = now - *last_dequeue_;
-    if (gap >= cfg_.burst_resolution) {
-      // A new burst begins: the previous one is complete.
-      finalize_burst(now);
-      // Record the inter-departure interval; sub-millisecond gaps are
-      // intra-AMPDU and tell us nothing about the channel (§4.2), and a
-      // gap that followed an emptied queue is application idle time.
-      if (!last_left_queue_empty_) {
-        dequeue_interval_.record(now, gap.to_seconds());
-      }
-      current_burst_bytes_ = bytes;
-      current_burst_start_ = now;
-    } else {
-      current_burst_bytes_ += bytes;  // same simultaneous departure
-    }
-  } else {
-    current_burst_bytes_ = bytes;
-    current_burst_start_ = now;
-  }
-  last_dequeue_ = now;
-  last_left_queue_empty_ = queue_empty_after;
-}
-
-void FortuneTeller::finalize_burst(TimePoint now) {
-  if (current_burst_bytes_ > 0) {
-    burst_max_.record(now, static_cast<double>(current_burst_bytes_));
-  }
-  current_burst_bytes_ = 0;
-}
-
-double FortuneTeller::tx_rate_bps(TimePoint now) {
-  const auto r = tx_rate_.rate_bps(now);
-  if (!r.has_value() || *r <= 0.0) return cfg_.fallback_rate_bps;
-  return *r;
-}
-
-Duration FortuneTeller::tx_delay(TimePoint now) {
-  const auto m = dequeue_interval_.mean(now);
-  if (!m.has_value()) return cfg_.fallback_tx;
-  return Duration::from_seconds(*m);
-}
-
-std::int64_t FortuneTeller::max_burst_bytes(TimePoint now) {
-  // Include the burst currently being accumulated.
-  const double past = burst_max_.max(now, 0.0);
-  return static_cast<std::int64_t>(
-      std::max(past, static_cast<double>(current_burst_bytes_)));
-}
-
-FortuneTeller::Prediction FortuneTeller::predict(
-    TimePoint now, std::int64_t queue_bytes, std::optional<TimePoint> head_since) {
-  Prediction out{};
-
-  // qLong (Eq. 1): queue backlog beyond one link-layer burst, divided by
-  // the windowed dequeue rate.
-  std::int64_t q_size = queue_bytes;
-  if (cfg_.burst_adjustment) {
-    q_size = std::max<std::int64_t>(queue_bytes - max_burst_bytes(now), 0);
-  }
-  const double rate = tx_rate_bps(now);
-  out.q_long = Duration::from_seconds(static_cast<double>(q_size) * 8.0 / rate);
-
-  // qShort: how long the current head packet has been waiting for a grant.
-  if (cfg_.use_qshort && head_since.has_value()) {
-    out.q_short = now - *head_since;
-  }
-
-  // tx: link-layer transmission delay.
-  out.tx = tx_delay(now);
-
-  // Sanity clamp: predictions beyond the clamp are equally actionable.
-  const Duration total = out.q_long + out.q_short + out.tx;
-  if (total > cfg_.max_prediction) {
-    const double scale = cfg_.max_prediction.ratio(total);
-    out.q_long = out.q_long * scale;
-    out.q_short = out.q_short * scale;
-    out.tx = out.tx * scale;
-  }
-
-  ZHUGE_METRIC_INC("fortune.predictions");
-  ZHUGE_METRIC_OBSERVE("fortune.predicted_ms", out.total().to_millis());
-  ZHUGE_TRACE(now, "fortune", "predict", {"qLong_ms", out.q_long.to_millis()},
-              {"qShort_ms", out.q_short.to_millis()},
-              {"tx_ms", out.tx.to_millis()},
-              {"queue_bytes", double(queue_bytes)}, {"rate_mbps", rate / 1e6});
-  return out;
-}
-
-}  // namespace zhuge::core

@@ -18,6 +18,15 @@ std::uint32_t Simulator::acquire_slot() {
 void Simulator::release_slot(std::uint32_t slot) {
   Node& n = pool_[slot];
   ++n.generation;  // invalidate any EventId still pointing at this slot
+  if (n.generation == 0) {
+    // Generation wrapped: every id this slot ever issued is about to
+    // become mintable again, so an id held since generation g would
+    // validate against an unrelated future event once the counter walks
+    // back around to g. Retire the slot instead of recycling it — one
+    // 256-byte node leaked per 2^32 reuses of a single slot, in exchange
+    // for cancel() never accepting a stale handle.
+    return;
+  }
   n.next_free = free_head_;
   free_head_ = slot;
 }

@@ -107,6 +107,13 @@ class Simulator {
   [[nodiscard]] std::size_t pool_slots() const { return pool_.size(); }
   [[nodiscard]] std::size_t queue_size() const { return heap_.size(); }
 
+  /// Test hook: overwrite a *free* slot's generation counter so the
+  /// EventId generation-wraparound path can be exercised without 2^32
+  /// real schedule/release cycles. Not for production use.
+  void set_slot_generation_for_test(std::uint32_t slot, std::uint32_t gen) {
+    pool_[slot].generation = gen;
+  }
+
  private:
   /// Heap entry: POD, 16 bytes (4 per cache line), trivially movable —
   /// sift operations touch no callback. `seqslot` packs the event's

@@ -110,11 +110,12 @@ void RtpSender::send_packet(Packet p, Duration offset) {
   if (offset == Duration::zero()) {
     out_(std::move(p));
   } else {
-    pacing_timers_.push_back(
-        sim_.schedule_after(offset, [this, pkt = std::move(p)]() mutable {
-          pkt.sent_time = sim_.now();
-          out_(std::move(pkt));
-        }));
+    const sim::Pool<Packet>::Index idx = paced_pool_.put(std::move(p));
+    pacing_timers_.push_back(sim_.schedule_after(offset, [this, idx] {
+      Packet pkt = paced_pool_.take(idx);
+      pkt.sent_time = sim_.now();
+      out_(std::move(pkt));
+    }));
   }
 }
 

@@ -17,6 +17,7 @@
 #include "net/seq.hpp"
 #include "stats/windowed.hpp"
 #include "rtc/video.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -137,6 +138,11 @@ class RtpSender {
   /// clamped below the frame interval, so every entry has fired by the next
   /// tick and the vector is cleared there (never grows past one frame).
   std::vector<sim::EventId> pacing_timers_;
+  /// Packets awaiting their pacing offset. Parked here so the pacing
+  /// events carry a 4-byte slot index instead of the whole packet; slots
+  /// recycle within a frame interval, so the pool peaks at one frame's
+  /// packetisation and never grows again.
+  sim::Pool<Packet> paced_pool_;
 
   double last_loss_fraction_ = 0.0;
   std::int64_t twcc_loss_base_ = 0;  ///< next expected unwrapped TWCC seq

@@ -6,11 +6,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "queue/qdisc.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "wireless/channel.hpp"
 
@@ -69,6 +71,14 @@ class CellularLink {
                 {"carry_bytes", carry_bytes_},
                 {"queued_pkts", double(qdisc_.packet_count())});
 
+    // Everything this TTI's budget admits is dequeued into one aggregate
+    // and delivered by a single event after the air latency — the batched
+    // analogue of the WifiLink's one-grant-per-AMPDU shape. The aggregate
+    // lives in a pooled vector (several can be in flight when air_latency
+    // spans multiple TTIs) so steady state schedules one event and zero
+    // allocations per TTI instead of one packet-carrying event per MPDU.
+    sim::Pool<std::vector<Packet>>::Index agg_idx = 0;
+    bool have_agg = false;
     while (true) {
       const Packet* head = qdisc_.peek();
       if (head == nullptr) {
@@ -84,13 +94,15 @@ class CellularLink {
         ZHUGE_METRIC_INC("wireless.cellular.air_losses");
         continue;
       }
-      sim_.schedule_after(cfg_.air_latency, [this, pkt = std::move(*p)]() mutable {
-        pkt.delivered_time = sim_.now();
-        ++delivered_;
-        ZHUGE_METRIC_INC("wireless.cellular.delivered_packets");
-        if (on_delivered_) on_delivered_(pkt, sim_.now());
-        if (deliver_) deliver_(std::move(pkt));
-      });
+      if (!have_agg) {
+        agg_idx = aggregates_.put({});
+        have_agg = true;
+      }
+      aggregates_.at(agg_idx).push_back(std::move(*p));
+    }
+    if (have_agg) {
+      sim_.schedule_after(cfg_.air_latency,
+                          [this, agg_idx] { deliver_aggregate(agg_idx); });
     }
 
     if (qdisc_.packet_count() > 0) {
@@ -98,6 +110,23 @@ class CellularLink {
     } else {
       ticking_ = false;
     }
+  }
+
+  /// Air latency elapsed for one TTI aggregate: hand every packet to the
+  /// receiver in dequeue order, then recycle the vector (capacity and all)
+  /// for a future TTI.
+  void deliver_aggregate(sim::Pool<std::vector<Packet>>::Index agg_idx) {
+    std::vector<Packet>& agg = aggregates_.at(agg_idx);
+    const TimePoint now = sim_.now();
+    for (Packet& pkt : agg) {
+      pkt.delivered_time = now;
+      ++delivered_;
+      ZHUGE_METRIC_INC("wireless.cellular.delivered_packets");
+      if (on_delivered_) on_delivered_(pkt, now);
+      if (deliver_) deliver_(std::move(pkt));
+    }
+    agg.clear();
+    aggregates_.release(agg_idx);
   }
 
   sim::Simulator& sim_;
@@ -108,6 +137,7 @@ class CellularLink {
   PacketHandler deliver_;
   DequeueObserver on_dequeue_;
   DeliveryObserver on_delivered_;
+  sim::Pool<std::vector<Packet>> aggregates_;  ///< in-flight TTI batches
   double carry_bytes_ = 0.0;
   bool ticking_ = false;
   std::uint64_t delivered_ = 0;

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <utility>
+
 #include "core/fortune_teller.hpp"
 #include "queue/fifo.hpp"
+#include "sim/random.hpp"
 
 namespace zhuge::core {
 namespace {
@@ -160,6 +164,209 @@ TEST(FortuneTeller, QShortLeadsQLongAfterAbwDrop) {
   // The early rise is dominated by qShort, not qLong (the 40 ms window
   // still holds pre-stall departures).
   EXPECT_GT(early.q_short, early.q_long);
+}
+
+// ---- SoA ↔ deque bit-equivalence -----------------------------------------
+// The PR 8 hot-path rewrite moved the windowed estimators from std::deque
+// storage to SoA rings and inlined predict(). The reference below is the
+// pre-rewrite layout — deque-of-pairs estimators with the arithmetic
+// preserved operation-for-operation — so any reordering or dropped
+// operation in the SoA path shows up as a bitwise mismatch here. The
+// end-to-end counterpart is the golden fingerprint suite (basic_rtp,
+// dense_64sta_churn, tcp_mix_fade) plus the attrib_dense64 stage-p95
+// anchor, which pin the same property through whole simulations.
+
+struct RefRate {
+  explicit RefRate(Duration w) : window(w) {}
+  Duration window;
+  std::deque<std::pair<std::int64_t, std::int64_t>> q;  // (t_ns, bytes)
+  std::int64_t total = 0;
+  void evict(TimePoint now) {
+    const std::int64_t cutoff = (now - window).count_ns();
+    while (!q.empty() && q.front().first < cutoff) {
+      total -= q.front().second;
+      q.pop_front();
+    }
+  }
+  void record(TimePoint t, std::int64_t bytes) {
+    q.emplace_back(t.count_ns(), bytes);
+    total += bytes;
+    evict(t);
+  }
+  double rate_or(TimePoint now, double fallback) {
+    evict(now);
+    if (q.empty()) return fallback;
+    const double secs = window.to_seconds();
+    if (secs <= 0.0) return fallback;
+    const double r = static_cast<double>(total) * 8.0 / secs;
+    return r <= 0.0 ? fallback : r;
+  }
+};
+
+struct RefMean {
+  explicit RefMean(Duration w) : window(w) {}
+  Duration window;
+  std::deque<std::pair<std::int64_t, double>> q;
+  double sum = 0.0;
+  std::uint32_t since_resum = 0;
+  void evict(TimePoint now) {
+    const std::int64_t cutoff = (now - window).count_ns();
+    while (!q.empty() && q.front().first < cutoff) {
+      sum -= q.front().second;
+      q.pop_front();
+    }
+  }
+  void record(TimePoint t, double v) {
+    q.emplace_back(t.count_ns(), v);
+    sum += v;
+    evict(t);
+    if (++since_resum >= 4096) {  // mirrors WindowedMean::kResumPeriod
+      since_resum = 0;
+      double s = 0.0;
+      for (const auto& [qt, qv] : q) s += qv;
+      sum = s;
+    }
+  }
+  std::optional<double> mean(TimePoint now) {
+    evict(now);
+    if (q.empty()) return std::nullopt;
+    return sum / static_cast<double>(q.size());
+  }
+};
+
+struct RefMax {
+  explicit RefMax(Duration w) : window(w) {}
+  Duration window;
+  std::deque<std::pair<std::int64_t, double>> q;  // monotonic by value
+  void evict(TimePoint now) {
+    const std::int64_t cutoff = (now - window).count_ns();
+    while (!q.empty() && q.front().first < cutoff) q.pop_front();
+  }
+  void record(TimePoint t, double v) {
+    while (!q.empty() && q.back().second <= v) q.pop_back();
+    q.emplace_back(t.count_ns(), v);
+    evict(t);
+  }
+  double max(TimePoint now, double fallback) {
+    evict(now);
+    return q.empty() ? fallback : q.front().second;
+  }
+};
+
+struct RefFortuneTeller {
+  FortuneTellerConfig cfg;
+  RefRate tx_rate;
+  RefMean dequeue_interval;
+  RefMax burst_max;
+  std::optional<TimePoint> last_dequeue;
+  bool last_left_queue_empty = false;
+  std::int64_t current_burst_bytes = 0;
+
+  explicit RefFortuneTeller(FortuneTellerConfig c)
+      : cfg(c),
+        tx_rate(c.window),
+        dequeue_interval(c.window),
+        burst_max(c.burst_window) {}
+
+  void on_dequeue(std::int64_t bytes, TimePoint now, bool queue_empty_after) {
+    tx_rate.record(now, bytes);
+    if (last_dequeue.has_value()) {
+      const Duration gap = now - *last_dequeue;
+      if (gap >= cfg.burst_resolution) {
+        if (current_burst_bytes > 0) {
+          burst_max.record(now, static_cast<double>(current_burst_bytes));
+        }
+        current_burst_bytes = 0;
+        if (!last_left_queue_empty) {
+          dequeue_interval.record(now, gap.to_seconds());
+        }
+        current_burst_bytes = bytes;
+      } else {
+        current_burst_bytes += bytes;
+      }
+    } else {
+      current_burst_bytes = bytes;
+    }
+    last_dequeue = now;
+    last_left_queue_empty = queue_empty_after;
+  }
+
+  std::int64_t max_burst_bytes(TimePoint now) {
+    const double past = burst_max.max(now, 0.0);
+    return static_cast<std::int64_t>(
+        std::max(past, static_cast<double>(current_burst_bytes)));
+  }
+
+  Duration tx_delay(TimePoint now) {
+    const auto m = dequeue_interval.mean(now);
+    if (!m.has_value()) return cfg.fallback_tx;
+    return Duration::from_seconds(*m);
+  }
+
+  FortuneTeller::Prediction predict(TimePoint now, std::int64_t queue_bytes,
+                                    std::optional<TimePoint> head_since) {
+    FortuneTeller::Prediction out{};
+    std::int64_t q_size = queue_bytes;
+    if (cfg.burst_adjustment) {
+      q_size = std::max<std::int64_t>(queue_bytes - max_burst_bytes(now), 0);
+    }
+    const double rate = tx_rate.rate_or(now, cfg.fallback_rate_bps);
+    out.q_long = Duration::from_seconds(static_cast<double>(q_size) * 8.0 / rate);
+    if (cfg.use_qshort && head_since.has_value()) out.q_short = now - *head_since;
+    out.tx = tx_delay(now);
+    const Duration total = out.q_long + out.q_short + out.tx;
+    if (total > cfg.max_prediction) {
+      const double scale = cfg.max_prediction.ratio(total);
+      out.q_long = out.q_long * scale;
+      out.q_short = out.q_short * scale;
+      out.tx = out.tx * scale;
+    }
+    return out;
+  }
+};
+
+TEST(FortuneTeller, SoaPredictBitEquivalentToDequeReference) {
+  FortuneTellerConfig cfg;  // defaults: burst adjustment + qShort on
+  FortuneTeller ft(cfg);
+  RefFortuneTeller ref(cfg);
+  sim::Rng rng(4242);
+  TimePoint t = TimePoint::zero();
+
+  // 8000 bursts: enough dequeue-interval records to cross the 4096-record
+  // resummation boundary inside the mean estimator, with idle gaps, AMPDU
+  // sub-ms bursts, and multi-window silences mixed in.
+  for (int burst = 0; burst < 8'000; ++burst) {
+    const bool idle = rng.uniform_int(50) == 0;
+    t += idle ? Duration::millis(30 + rng.uniform_int(300))
+              : Duration::micros(1'000 + rng.uniform_int(9'000));
+    const auto pkts = 1 + rng.uniform_int(8);
+    for (std::uint32_t k = 0; k < pkts; ++k) {
+      if (k > 0) t += Duration::micros(rng.uniform_int(2) == 0 ? 0 : 10);
+      const auto bytes = static_cast<std::int64_t>(200 + rng.uniform_int(1400));
+      const bool empties = (k + 1 == pkts) && rng.uniform_int(4) == 0;
+      ft.on_dequeue(bytes, t, empties);
+      ref.on_dequeue(bytes, t, empties);
+    }
+
+    const auto qb = static_cast<std::int64_t>(rng.uniform_int(200'000));
+    std::optional<TimePoint> head;
+    if (rng.uniform_int(3) != 0) {
+      head = t - Duration::micros(rng.uniform_int(50'000));
+    }
+    // The underlying doubles, exactly — not just the rounded durations.
+    ASSERT_EQ(ft.tx_rate_bps(t), ref.tx_rate.rate_or(t, cfg.fallback_rate_bps))
+        << "rate diverged at burst " << burst;
+    ASSERT_EQ(ft.max_burst_bytes(t), ref.max_burst_bytes(t))
+        << "burst max diverged at burst " << burst;
+    const auto got = ft.predict(t, qb, head);
+    const auto want = ref.predict(t, qb, head);
+    ASSERT_EQ(got.q_long.count_ns(), want.q_long.count_ns())
+        << "qLong diverged at burst " << burst;
+    ASSERT_EQ(got.q_short.count_ns(), want.q_short.count_ns())
+        << "qShort diverged at burst " << burst;
+    ASSERT_EQ(got.tx.count_ns(), want.tx.count_ns())
+        << "tx diverged at burst " << burst;
+  }
 }
 
 }  // namespace

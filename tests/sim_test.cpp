@@ -258,6 +258,47 @@ TEST(Simulator, StaleIdFromRecycledSlotIsRejected) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Simulator, GenerationWraparoundNeverRevalidatesAncientId) {
+  // A slot's generation counter is 32 bits. Without a wrap guard, the
+  // 2^32-th reuse of a slot walks its generation back to a value it has
+  // already issued, and an EventId held since then validates against an
+  // unrelated future event — cancel(ancient_id) kills someone else's
+  // timer. The guard retires a slot whose generation wraps to 0 instead
+  // of recycling it; this drives the wrap via the test hook rather than
+  // four billion real schedule/release cycles.
+  Simulator sim;
+
+  // First event ever: slot 0, generation 0.
+  const EventId ancient_id = sim.schedule_after(1_ms, [] {});
+  sim.run();  // fires; slot 0 freed at generation 1
+  const auto slot_of = [](EventId id) {
+    return static_cast<std::uint32_t>(id) - 1;
+  };
+  ASSERT_EQ(slot_of(ancient_id), 0u);
+  ASSERT_EQ(ancient_id >> 32, 0u);  // minted at generation 0
+
+  // Fast-forward slot 0 to the last generation before the wrap and burn
+  // one more schedule/fire cycle through it.
+  sim.set_slot_generation_for_test(0, 0xFFFFFFFFu);
+  const EventId last_gen_id = sim.schedule_after(1_ms, [] {});
+  ASSERT_EQ(slot_of(last_gen_id), 0u);
+  ASSERT_EQ(last_gen_id >> 32, 0xFFFFFFFFu);
+  sim.run();  // fires; ++generation wraps to 0 → slot must retire
+
+  // The next event must not land in slot 0: if it did, it would be
+  // minted at generation 0 and ancient_id would alias it exactly.
+  int fired = 0;
+  const EventId fresh_id = sim.schedule_after(1_ms, [&] { ++fired; });
+  EXPECT_NE(slot_of(fresh_id), 0u);
+  EXPECT_NE(fresh_id, ancient_id);
+
+  // The ancient handle stays dead, and cancelling it must not disturb
+  // the live event.
+  EXPECT_FALSE(sim.cancel(ancient_id));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Callback, TypicalEventClosuresStayInline) {
   // The whole point of the 224-byte buffer: a closure owning a ~170-byte
   // packet payload plus a simulator pointer must not heap-allocate.

@@ -146,6 +146,73 @@ TEST(WindowedMean, LongRunMeanDoesNotDrift) {
   EXPECT_NEAR(*got / exact_mean, 1.0, 1e-9);
 }
 
+TEST(WindowedMean, ResummationBoundaryExactUnderInterleavedEviction) {
+  // The running sum is re-added exactly once every 4096 records. This
+  // drives record/evict interleaving straight through several boundaries
+  // — including a mass expiry landing *on* the resummation record and
+  // one landing immediately before it — and checks three things:
+  //  (a) on every record where the resummation just fired, the reported
+  //      mean is BITWISE equal to an in-order shadow recomputation (the
+  //      resummed sum and the shadow sum perform identical operations in
+  //      identical order, so any divergence is a desync, not roundoff);
+  //  (b) between boundaries the accumulated residue stays within 1e-9;
+  //  (c) the monotonic max ring never desyncs from the sample window
+  //      while evictions straddle the boundary.
+  constexpr int kResum = 4096;  // mirrors WindowedMean::kResumPeriod
+  WindowedMean m(40_ms);
+  std::deque<std::pair<TimePoint, double>> shadow;
+  sim::Rng rng(23);
+  TimePoint t = TimePoint::zero();
+  (void)m.max(t);  // activate the lazy max ring from record one
+
+  for (int i = 1; i <= 3 * kResum + 64; ++i) {
+    const int phase = i % kResum;
+    if (phase == 0 || phase == kResum - 1) {
+      // Mass expiry exactly at (and just before) the resummation record:
+      // the window empties down to this one sample while the sum is
+      // being rebuilt.
+      t += Duration::millis(90);
+    } else {
+      t += Duration::micros(20);  // steady churn: window holds ~2000
+    }
+    const double v = (i % 2 == 0) ? rng.uniform() * 1e9 : rng.uniform() * 1e-3;
+    m.record(t, v);
+    shadow.emplace_back(t, v);
+    while (!shadow.empty() && shadow.front().first < t - 40_ms) {
+      shadow.pop_front();
+    }
+
+    ASSERT_EQ(m.sample_count(), shadow.size()) << "window desync at " << i;
+    double exact = 0.0;
+    double brute_max = shadow.front().second;
+    for (const auto& [st, sv] : shadow) {
+      exact += sv;
+      brute_max = std::max(brute_max, sv);
+    }
+    const double exact_mean = exact / static_cast<double>(shadow.size());
+    const auto got = m.mean(t);
+    ASSERT_TRUE(got.has_value());
+    if (phase == 0) {
+      EXPECT_EQ(*got, exact_mean) << "resummed sum diverged at " << i;
+    } else if (phase == kResum - 1) {
+      // The mass expiry just cancelled ~2000 samples of ~1e9 magnitude
+      // out of the running sum, leaving a survivor of ~1e-3: the shed
+      // low-order bits can exceed the true mean many times over, so no
+      // relative bound holds here — this record is exactly why the
+      // periodic resummation exists (the next record, phase 0, is
+      // checked bitwise above). The *absolute* residue must still stay
+      // within the ulps accumulated since the last resummation.
+      EXPECT_NEAR(*got * static_cast<double>(shadow.size()), exact, 8.0)
+          << "cancellation residue unbounded at " << i;
+    } else {
+      EXPECT_NEAR(*got / exact_mean, 1.0, 1e-9) << "residue blew up at " << i;
+    }
+    const auto got_max = m.max(t);
+    ASSERT_TRUE(got_max.has_value());
+    EXPECT_EQ(*got_max, brute_max) << "max ring desync at " << i;
+  }
+}
+
 TEST(WindowedRate, LongRunTotalsStayExact) {
   // total_bytes_ is integer arithmetic — after a million record/evict
   // cycles the reported rate must equal the brute-force rate exactly,
