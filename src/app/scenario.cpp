@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "queue/fifo.hpp"
+#include "sim/substreams.hpp"
 #include "transport/rtp_receiver.hpp"
 #include "transport/tcp_receiver.hpp"
 #include "transport/tcp_sender.hpp"
@@ -138,8 +139,8 @@ class Scenario {
 };
 
 void Scenario::build() {
-  rng_ = std::make_unique<sim::Rng>(cfg_.seed, 11);
-  scenario_rng_ = std::make_unique<sim::Rng>(cfg_.seed, 23);
+  rng_ = std::make_unique<sim::Rng>(cfg_.seed, sim::substreams::kScenarioMain);
+  scenario_rng_ = std::make_unique<sim::Rng>(cfg_.seed, sim::substreams::kScenarioAux);
   warmup_end_ = TimePoint::zero() + cfg_.warmup;
   run_end_ = TimePoint::zero() + cfg_.duration;
 
@@ -161,22 +162,22 @@ void Scenario::build() {
   // keeps the boundary clean.
   if (cfg_.faults.downlink_wan.any()) {
     inj_downlink_wan_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(cfg_.seed, 31), cfg_.faults.downlink_wan,
+        sim_, sim::Rng(cfg_.seed, sim::substreams::kFaultDownlinkWan), cfg_.faults.downlink_wan,
         [this](Packet p) { ap_->from_wan(std::move(p)); });
   }
   if (cfg_.faults.uplink_wireless.any()) {
     inj_uplink_wireless_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(cfg_.seed, 37), cfg_.faults.uplink_wireless,
+        sim_, sim::Rng(cfg_.seed, sim::substreams::kFaultUplinkWireless), cfg_.faults.uplink_wireless,
         [this](Packet p) { ap_->from_client(std::move(p)); });
   }
   if (cfg_.faults.downlink_wireless.any()) {
     inj_downlink_wireless_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(cfg_.seed, 41), cfg_.faults.downlink_wireless,
+        sim_, sim::Rng(cfg_.seed, sim::substreams::kFaultDownlinkWireless), cfg_.faults.downlink_wireless,
         [this](Packet p) { client_receive(std::move(p)); });
   }
   if (cfg_.faults.uplink_wan.any()) {
     inj_uplink_wan_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(cfg_.seed, 43), cfg_.faults.uplink_wan,
+        sim_, sim::Rng(cfg_.seed, sim::substreams::kFaultUplinkWan), cfg_.faults.uplink_wan,
         [this](Packet p) { server_receive(std::move(p)); });
   }
   // Feedback-path fault boundaries. Both force only_feedback so enabling
@@ -188,7 +189,7 @@ void Scenario::build() {
     fault::InjectorConfig fcfg = cfg_.faults.uplink_rtcp;
     fcfg.only_feedback = true;
     inj_uplink_rtcp_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(cfg_.seed, 53), fcfg, [this](Packet p) {
+        sim_, sim::Rng(cfg_.seed, sim::substreams::kFaultUplinkRtcp), fcfg, [this](Packet p) {
           if (inj_uplink_wireless_) {
             inj_uplink_wireless_->handle(std::move(p));
           } else {
@@ -226,7 +227,7 @@ void Scenario::build() {
     fault::InjectorConfig fcfg = cfg_.faults.ap_feedback;
     fcfg.only_feedback = true;
     inj_ap_feedback_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(cfg_.seed, 47), fcfg,
+        sim_, sim::Rng(cfg_.seed, sim::substreams::kFaultApFeedback), fcfg,
         [this](Packet p) { wan_up_->send(std::move(p)); });
     ap_->set_feedback_fault_hook(inj_ap_feedback_->as_handler());
   }
@@ -752,8 +753,8 @@ class MultiScenario {
 };
 
 void MultiScenario::build() {
-  rng_ = std::make_unique<sim::Rng>(seed_, 11);
-  scenario_rng_ = std::make_unique<sim::Rng>(seed_, 23);
+  rng_ = std::make_unique<sim::Rng>(seed_, sim::substreams::kScenarioMain);
+  scenario_rng_ = std::make_unique<sim::Rng>(seed_, sim::substreams::kScenarioAux);
   warmup_end_ = TimePoint::zero() + Duration::from_seconds(spec_.warmup_s);
   run_end_ = TimePoint::zero() + Duration::from_seconds(spec_.duration_s);
 
@@ -778,7 +779,7 @@ void MultiScenario::build() {
     fault::InjectorConfig fcfg = spec_.uplink_rtcp_fault;
     fcfg.only_feedback = true;
     inj_uplink_rtcp_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(seed_, 53), fcfg,
+        sim_, sim::Rng(seed_, sim::substreams::kFaultUplinkRtcp), fcfg,
         [this](Packet p) { ap_->from_client(std::move(p)); });
   }
 
@@ -799,7 +800,7 @@ void MultiScenario::build() {
     fault::InjectorConfig fcfg = spec_.ap_feedback_fault;
     fcfg.only_feedback = true;
     inj_ap_feedback_ = std::make_unique<fault::Injector>(
-        sim_, sim::Rng(seed_, 47), fcfg,
+        sim_, sim::Rng(seed_, sim::substreams::kFaultApFeedback), fcfg,
         [this](Packet p) { wan_up_->send(std::move(p)); });
     ap_->set_feedback_fault_hook(inj_ap_feedback_->as_handler());
   }

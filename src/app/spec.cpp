@@ -9,6 +9,7 @@
 
 #include "obs/slo.hpp"
 #include "sim/random.hpp"
+#include "sim/substreams.hpp"
 
 namespace zhuge::app {
 
@@ -698,8 +699,9 @@ std::vector<FlowEvent> expand_flow_schedule(const ScenarioSpec& spec,
   if (!c.enabled) return out;
 
   // Dedicated substream: the same spec on a different seed gets a different
-  // schedule, and the main scenario RNG (stream 11/23) never shifts.
-  sim::Rng rng(seed, 101);
+  // schedule, and the main scenario RNG (kScenarioMain/kScenarioAux)
+  // never shifts.
+  sim::Rng rng(seed, sim::substreams::kSpecFlowChurn);
   const int n_stations = spec.station_count();
   const double churn_end = c.stop_s < 0 ? end : std::min(c.stop_s, end);
   const double w_total = c.mix_rtp_gcc + c.mix_tcp_cubic + c.mix_tcp_bbr;

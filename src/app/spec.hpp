@@ -217,7 +217,7 @@ struct FlowEvent {
 };
 
 /// Expand the spec into a deterministic flow schedule for `seed`. Churn
-/// draws come from Rng(seed, 101) in a fixed per-arrival order
+/// draws come from Rng(seed, substreams::kSpecFlowChurn) in a fixed per-arrival order
 /// (interarrival, lifetime, kind, station, zhuge) — draws are consumed even
 /// for arrivals skipped by max_concurrent, so admitting or dropping one
 /// arrival never shifts the randomness of the rest of the schedule.

@@ -110,10 +110,9 @@ class Bbr final : public CongestionControl {
     // trace): sampled state-machine internals for diagnosing why the model
     // settled at a given operating point.
     if (trace_enabled()) {
-      static double last_t = -1.0;
       const double t = ev.now.count_ns() / 1e9;
-      if (t - last_t > 0.25) {
-        last_t = t;
+      if (t - trace_last_t_ > 0.25) {
+        trace_last_t_ = t;
         std::fprintf(stderr,
                      "BBR t=%.2f st=%d bw=%.3f rtt=%.1f gain=%.2f cwnd=%llu "
                      "inflight=%llu drate=%.3f applim=%d ackrtt=%.1f\n",
@@ -196,6 +195,7 @@ class Bbr final : public CongestionControl {
   std::size_t cycle_index_ = 0;
   TimePoint probe_rtt_until_;
   TimePoint min_rtt_stamp_;
+  double trace_last_t_ = -1.0;  ///< debug-trace sampling clock (per instance)
 };
 
 }  // namespace zhuge::cca

@@ -212,6 +212,7 @@ class Registry {
 
 /// Runtime switch read on every instrumented hot path; off by default so an
 /// uninstrumented run pays one predictable branch per hook.
+// zlint-allow(shared-mutable-state): reviewed process-global obs switch; set once at startup, frozen by app::ObsFreeze before any run, never result-affecting
 inline bool g_metrics_enabled = false;
 
 [[nodiscard]] inline bool metrics_enabled() { return g_metrics_enabled; }
@@ -219,6 +220,7 @@ inline void set_metrics_enabled(bool on) { g_metrics_enabled = on; }
 
 /// Process-global registry used by the ZHUGE_METRIC_* macros.
 inline Registry& metrics() {
+  // zlint-allow(shared-mutable-state): reviewed obs singleton; sink only, reset between runs, never feeds back into results
   static Registry r;
   return r;
 }

@@ -1,4 +1,4 @@
-#pragma once
+#pragma once  // zlint-allow(include-graph): consumed outside src/ — bench/bench_util.hpp and examples/ include it; no src-internal TU does
 // CLI observability session, shared by every entrypoint (benches, examples,
 // tools). Parses
 //   --trace <file>     enable the event tracer, dump on exit

@@ -106,6 +106,7 @@ class Tracer {
 
 // ---- global instance + runtime switch ------------------------------------
 
+// zlint-allow(shared-mutable-state): reviewed process-global obs switch; set once at startup, frozen by app::ObsFreeze before any run, never result-affecting
 inline bool g_tracing_enabled = false;
 
 [[nodiscard]] inline bool tracing_enabled() { return g_tracing_enabled; }
@@ -113,6 +114,7 @@ inline void set_tracing_enabled(bool on) { g_tracing_enabled = on; }
 
 /// Process-global tracer used by the ZHUGE_TRACE macro.
 inline Tracer& tracer() {
+  // zlint-allow(shared-mutable-state): reviewed obs singleton; sink only, reset between runs, never feeds back into results
   static Tracer t;
   return t;
 }

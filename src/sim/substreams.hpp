@@ -1,0 +1,62 @@
+#pragma once
+// RNG substream registry — the single home for every `sim::Rng(seed, N)`
+// stream ID in src/.
+//
+// PCG32 substreams (src/sim/random.hpp) give independent sequences from one
+// seed, but only if every component draws from a *distinct* stream: two
+// components on the same (seed, stream) see correlated randomness and the
+// bit-identity contract (golden fingerprints, --verify-serial, the chaos
+// matrix) silently degrades into coupled noise. This registry makes the
+// allocation auditable, and zlint's project-mode `rng-substream` rule
+// machine-checks it: every `sim::Rng(seed, <expr>)` construction in src/
+// must name a constant defined here, raw literals are errors, and two
+// constants with the same value are an error.
+//
+// Policy: a new substream = a new named constexpr below, with a comment
+// saying what draws from it. Never reuse a value; never renumber an
+// existing one (the numeric values are part of the reproducibility
+// surface — changing one changes every golden fingerprint downstream).
+//
+// The values predate this registry (they were literals spread across
+// scenario.cpp / spec.cpp / synthetic.cpp) and are preserved verbatim.
+
+#include <cstdint>
+
+namespace zhuge::sim::substreams {
+
+/// Main scenario RNG: wireless medium contention, AP behaviour, and every
+/// component handed `*rng_` by Scenario/MultiScenario::build().
+inline constexpr std::uint64_t kScenarioMain = 11;
+
+/// Scenario-level draws decoupled from the medium: app jitter, per-flow
+/// start offsets (`scenario_rng_`).
+inline constexpr std::uint64_t kScenarioAux = 23;
+
+/// Synthetic channel traces: AR(1) capacity process in
+/// trace/synthetic.cpp make_trace().
+inline constexpr std::uint64_t kSyntheticTrace = 7;
+
+/// Fault injector on the servers->AP wired downlink (chaos harness).
+inline constexpr std::uint64_t kFaultDownlinkWan = 31;
+
+/// Fault injector on the client->AP wireless uplink.
+inline constexpr std::uint64_t kFaultUplinkWireless = 37;
+
+/// Fault injector on the AP->client wireless downlink.
+inline constexpr std::uint64_t kFaultDownlinkWireless = 41;
+
+/// Fault injector on the AP->servers wired uplink.
+inline constexpr std::uint64_t kFaultUplinkWan = 43;
+
+/// Feedback-only injector on the AP's rewritten feedback towards the WAN
+/// (the shortest-control-loop path).
+inline constexpr std::uint64_t kFaultApFeedback = 47;
+
+/// Feedback-only injector on client->AP RTCP uplink traffic.
+inline constexpr std::uint64_t kFaultUplinkRtcp = 53;
+
+/// Flow-churn schedule expansion in spec.cpp expand_churn(): arrival
+/// times, durations, and kind mix of churned stations.
+inline constexpr std::uint64_t kSpecFlowChurn = 101;
+
+}  // namespace zhuge::sim::substreams

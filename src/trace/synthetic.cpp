@@ -1,5 +1,7 @@
 #include "trace/synthetic.hpp"
 
+#include "sim/substreams.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -98,7 +100,7 @@ const char* long_name(TraceKind kind) {
 
 Trace make_trace(const SyntheticParams& p, std::uint64_t seed,
                  sim::Duration duration, const std::string& name) {
-  sim::Rng rng(seed, 7);
+  sim::Rng rng(seed, sim::substreams::kSyntheticTrace);
   std::vector<Trace::Sample> samples;
   const auto steps = static_cast<std::size_t>(
       duration.count_ns() / p.step.count_ns());

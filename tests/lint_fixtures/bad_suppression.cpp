@@ -1,0 +1,11 @@
+// Fixture: known-bad suppression hygiene — zlint-allow without a reason
+// clause. The float-equality diagnostic is still silenced, but project
+// mode reports the reasonless clause itself.
+namespace zhuge::stats {
+
+inline bool same(double a, double b) {
+  // zlint-allow(float-equality)
+  return a == b;
+}
+
+}  // namespace zhuge::stats

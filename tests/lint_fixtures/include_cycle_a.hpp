@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: half of a two-header include cycle (analyzed as
+// src/net/cycle_a.hpp; the other half is include_cycle_b.hpp).
+#include "net/cycle_b.hpp"
+
+namespace zhuge::net {
+struct CycleA {};
+}  // namespace zhuge::net

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: other half of the include cycle (analyzed as
+// src/net/cycle_b.hpp).
+#include "net/cycle_a.hpp"
+
+namespace zhuge::net {
+struct CycleB {};
+}  // namespace zhuge::net

@@ -1,0 +1,12 @@
+// Fixture: known-bad shared-mutable-state — a mutable namespace-scope
+// variable and a non-const function-local static.
+namespace zhuge::core {
+
+int g_packets_seen = 0;
+
+inline int bump() {
+  static int calls = 0;
+  return ++calls + g_packets_seen;
+}
+
+}  // namespace zhuge::core

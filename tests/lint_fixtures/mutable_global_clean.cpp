@@ -1,0 +1,22 @@
+// Fixture: clean shared-mutable-state — constants, constexpr, and plain
+// locals are all fine; only *mutable* namespace-scope / static-local
+// state trips the rule.
+namespace zhuge::core {
+
+inline constexpr int kWindowLimit = 8;
+const double kAlpha = 0.125;
+static const char* const kName = "fixture";
+
+struct Counter {
+  int value = 0;  // mutable *member*: instance state, fine
+};
+
+inline int bump(int seed) {
+  int calls = seed;  // plain local
+  static const int kBase = 2;  // const static local
+  constexpr int kStep = 3;
+  Counter c{calls};
+  return c.value + kBase + kStep + kWindowLimit;
+}
+
+}  // namespace zhuge::core

@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: a header no translation unit reaches (analyzed as
+// src/net/orphan.hpp in a project set whose TU does not include it).
+namespace zhuge::net {
+struct Orphan {};
+}  // namespace zhuge::net

@@ -1,0 +1,13 @@
+#pragma once
+// Seeded known-bad registry for the CI self-test: the gating zlint job
+// runs `zlint --project` over this directory and asserts a non-zero exit
+// with an rng-substream collision diagnostic. If the analyzer regresses
+// into silence, CI fails loudly instead of green-lighting a broken lint.
+#include <cstdint>
+
+namespace zhuge::sim::substreams {
+
+inline constexpr std::uint64_t kSeededAlpha = 9;
+inline constexpr std::uint64_t kSeededBeta = 9;  // collides with kSeededAlpha
+
+}  // namespace zhuge::sim::substreams

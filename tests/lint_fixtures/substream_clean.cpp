@@ -1,0 +1,17 @@
+// Fixture: clean rng-substream — every construction names a registry
+// constant (see substreams_ok.hpp, analyzed as src/sim/substreams.hpp).
+#include "sim/random.hpp"
+#include "sim/substreams.hpp"
+
+#include <memory>
+
+namespace zhuge::trace {
+
+inline double jitter(std::uint64_t seed) {
+  sim::Rng rng(seed, sim::substreams::kDemoTrace);
+  auto heap_rng =
+      std::make_unique<sim::Rng>(seed, sim::substreams::kDemoMedium);
+  return rng.next_double() + heap_rng->next_double();
+}
+
+}  // namespace zhuge::trace

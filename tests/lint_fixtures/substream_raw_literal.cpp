@@ -1,0 +1,15 @@
+// Fixture: known-bad rng-substream — raw integer literals as stream IDs.
+// Both the declaration form and the make_unique form must trip.
+#include "sim/random.hpp"
+
+#include <memory>
+
+namespace zhuge::trace {
+
+inline double jitter(std::uint64_t seed) {
+  sim::Rng rng(seed, 42);
+  auto heap_rng = std::make_unique<sim::Rng>(seed, 43);
+  return rng.next_double() + heap_rng->next_double();
+}
+
+}  // namespace zhuge::trace

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture: known-bad substream registry — two named constants share a
+// value, so the two components draw correlated randomness.
+#include <cstdint>
+
+namespace zhuge::sim::substreams {
+
+inline constexpr std::uint64_t kDemoTrace = 9;
+inline constexpr std::uint64_t kDemoMedium = 17;
+inline constexpr std::uint64_t kDemoChurn = 9;  // collides with kDemoTrace
+
+}  // namespace zhuge::sim::substreams

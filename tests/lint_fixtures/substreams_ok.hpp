@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: clean substream registry — analyzed under the pretend path
+// src/sim/substreams.hpp. Distinct names, distinct values.
+#include <cstdint>
+
+namespace zhuge::sim::substreams {
+
+/// Synthetic trace draws in the fixtures.
+inline constexpr std::uint64_t kDemoTrace = 9;
+
+/// Wireless medium contention draws in the fixtures.
+inline constexpr std::uint64_t kDemoMedium = 17;
+
+}  // namespace zhuge::sim::substreams

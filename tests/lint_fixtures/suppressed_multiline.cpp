@@ -1,0 +1,16 @@
+// Fixture: an own-line zlint-allow above a multi-line statement must cover
+// diagnostics reported on the statement's *continuation* lines, not just
+// the first line. Both `==` comparisons below sit on different lines of
+// one statement; a single suppression covers the whole statement.
+namespace zhuge::stats {
+
+inline bool close_enough(double a, double b, double c) {
+  // zlint-allow(float-equality): exact comparison intended; inputs are sums of small integers
+  const bool eq = (a ==
+                   b) &&
+                  (b ==
+                   c);
+  return eq;
+}
+
+}  // namespace zhuge::stats

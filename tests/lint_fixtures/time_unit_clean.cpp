@@ -1,0 +1,19 @@
+// Fixture: clean time-unit — same-unit arithmetic, int64 nanosecond
+// accumulation, and an explicit conversion call at the unit boundary.
+#include <cstdint>
+
+namespace zhuge::net {
+
+inline constexpr std::int64_t ms_to_ns(std::int64_t ms) {
+  return ms * 1'000'000;
+}
+
+inline std::int64_t good_budget(std::int64_t rtt_ms, std::int64_t budget_ms,
+                                std::int64_t step_ns, int rounds) {
+  const std::int64_t margin_ms = budget_ms - rtt_ms;
+  std::int64_t total_ns = 0;
+  for (int i = 0; i < rounds; ++i) total_ns += step_ns;
+  return ms_to_ns(margin_ms) + total_ns;
+}
+
+}  // namespace zhuge::net

@@ -1,0 +1,16 @@
+// Fixture: known-bad time-unit — (a) arithmetic mixing differently
+// suffixed identifiers, (b) a double declared to carry nanoseconds,
+// (c) float accumulation of an _ns value.
+#include <cstdint>
+
+namespace zhuge::net {
+
+inline double bad_budget(std::int64_t rtt_ms, std::int64_t budget_s,
+                         std::int64_t step_ns, int rounds) {
+  const auto margin = budget_s - rtt_ms;
+  double total_ns = 0.0;
+  for (int i = 0; i < rounds; ++i) total_ns += step_ns;
+  return static_cast<double>(margin) + total_ns;
+}
+
+}  // namespace zhuge::net

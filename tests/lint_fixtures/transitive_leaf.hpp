@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: bottom of the transitive chain (analyzed as src/net/leaf.hpp).
+namespace zhuge::net {
+struct Leaf {};
+}  // namespace zhuge::net

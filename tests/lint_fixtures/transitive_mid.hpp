@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: middle of the transitive chain (analyzed as
+// src/stats/mid.hpp). The stats -> net edge is locally suppressed, so the
+// per-edge include-layering rule stays silent — only the project-wide
+// transitive pass can tell rtc it now reaches net.
+// zlint-allow(include-layering): fixture models a locally-waived edge whose distant consumers the transitive pass must still catch
+#include "net/leaf.hpp"
+
+namespace zhuge::stats {
+struct Mid {
+  net::Leaf leaf;
+};
+}  // namespace zhuge::stats

@@ -1,0 +1,11 @@
+#pragma once
+// Fixture: top of a transitive layer violation (analyzed as
+// src/rtc/user.hpp). The direct edge rtc -> stats is legal; the harm is
+// two hops down, where the stats header smuggles in a net header.
+#include "stats/mid.hpp"
+
+namespace zhuge::rtc {
+struct User {
+  stats::Mid mid;
+};
+}  // namespace zhuge::rtc

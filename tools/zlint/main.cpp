@@ -1,15 +1,28 @@
 // zlint CLI. Usage:
 //
-//   zlint [--json] [--root DIR] [path...]
+//   zlint [--project] [--json|--sarif|--facts] [--warn] [--root DIR] [path...]
 //
 // Paths may be files or directories (recursed; .hpp/.h/.cpp/.cc only) and
 // default to "src" under --root (default: current directory). Files are
 // classified by their path relative to --root, so run it from the repo
-// root or pass --root explicitly. Exits 1 iff any diagnostic is emitted.
+// root or pass --root explicitly.
+//
+//   --project   two-phase analysis: per-file rules on every input plus the
+//               cross-TU rules (rng-substream, shared-mutable-state,
+//               time-unit, include-graph, bad-suppression) over the merged
+//               fact base
+//   --json      machine-readable diagnostics
+//   --sarif     SARIF 2.1.0 for CI code-scanning annotations
+//   --facts     dump the phase-1 fact base as JSON (implies --project)
+//   --warn      print diagnostics but exit 0 (non-gating passes)
+//
+// Exits 1 iff any diagnostic is emitted (0 under --warn), 2 on usage error.
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,21 +59,128 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+void print_json(const std::vector<zlint::Diagnostic>& all) {
+  std::printf("[");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& d = all[i];
+    std::printf("%s\n  {\"path\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+                "\"message\": \"%s\"}",
+                i == 0 ? "" : ",", json_escape(d.path).c_str(), d.line,
+                json_escape(d.rule).c_str(), json_escape(d.message).c_str());
+  }
+  std::printf("%s]\n", all.empty() ? "" : "\n");
+}
+
+/// Minimal SARIF 2.1.0: one run, one rule entry per rule family, one
+/// result per diagnostic. Enough for GitHub code-scanning upload and for
+/// artifact download + jq.
+void print_sarif(const std::vector<zlint::Diagnostic>& all) {
+  std::printf("{\n");
+  std::printf("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+              "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+  std::printf("  \"version\": \"2.1.0\",\n");
+  std::printf("  \"runs\": [{\n");
+  std::printf("    \"tool\": {\"driver\": {\"name\": \"zlint\", "
+              "\"informationUri\": \"tools/zlint\", \"rules\": [");
+  const auto& rules = zlint::rule_names();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::printf("%s\n      {\"id\": \"%s\"}", i == 0 ? "" : ",",
+                rules[i].c_str());
+  }
+  std::printf("\n    ]}},\n");
+  std::printf("    \"results\": [");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& d = all[i];
+    std::printf(
+        "%s\n      {\"ruleId\": \"%s\", \"level\": \"error\", "
+        "\"message\": {\"text\": \"%s\"}, \"locations\": [{"
+        "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, "
+        "\"region\": {\"startLine\": %d}}}]}",
+        i == 0 ? "" : ",", json_escape(d.rule).c_str(),
+        json_escape(d.message).c_str(), json_escape(d.path).c_str(),
+        d.line > 0 ? d.line : 1);
+  }
+  std::printf("%s]\n  }]\n}\n", all.empty() ? "" : "\n    ");
+}
+
+void print_facts(const std::vector<zlint::FileFacts>& facts) {
+  std::printf("{\n  \"files\": %zu,\n", facts.size());
+  std::printf("  \"rng_uses\": [");
+  bool first = true;
+  for (const auto& f : facts) {
+    for (const auto& u : f.rng_uses) {
+      std::printf("%s\n    {\"path\": \"%s\", \"line\": %d, \"arg\": \"%s\", "
+                  "\"literal\": %s}",
+                  first ? "" : ",", json_escape(f.path).c_str(), u.line,
+                  json_escape(u.arg).c_str(), u.is_literal ? "true" : "false");
+      first = false;
+    }
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+  std::printf("  \"stream_defs\": [");
+  first = true;
+  for (const auto& f : facts) {
+    for (const auto& d : f.stream_defs) {
+      std::printf("%s\n    {\"path\": \"%s\", \"line\": %d, \"name\": \"%s\", "
+                  "\"value\": %lld}",
+                  first ? "" : ",", json_escape(f.path).c_str(), d.line,
+                  json_escape(d.name).c_str(),
+                  static_cast<long long>(d.value));
+      first = false;
+    }
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+  std::printf("  \"globals\": [");
+  first = true;
+  for (const auto& f : facts) {
+    for (const auto& global : f.globals) {
+      std::printf("%s\n    {\"path\": \"%s\", \"line\": %d, \"name\": \"%s\", "
+                  "\"static_local\": %s}",
+                  first ? "" : ",", json_escape(f.path).c_str(), global.line,
+                  json_escape(global.name).c_str(),
+                  global.static_local ? "true" : "false");
+      first = false;
+    }
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+  std::size_t includes = 0, hazards = 0;
+  for (const auto& f : facts) {
+    includes += f.includes.size();
+    hazards += f.hazards.size();
+  }
+  std::printf("  \"include_edges\": %zu,\n  \"hazard_facts\": %zu\n}\n",
+              includes, hazards);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
+  enum class Output { kText, kJson, kSarif, kFacts };
+  Output output = Output::kText;
+  bool project = false;
+  bool warn_only = false;
   fs::path root = ".";
   std::vector<fs::path> inputs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
-      json = true;
+      output = Output::kJson;
+    } else if (arg == "--sarif") {
+      output = Output::kSarif;
+    } else if (arg == "--facts") {
+      output = Output::kFacts;
+      project = true;
+    } else if (arg == "--project") {
+      project = true;
+    } else if (arg == "--warn") {
+      warn_only = true;
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::puts("usage: zlint [--json] [--root DIR] [path...]   (default path: src)");
+      std::puts(
+          "usage: zlint [--project] [--json|--sarif|--facts] [--warn]\n"
+          "             [--root DIR] [path...]        (default path: src)");
       std::fputs("rules:", stdout);
       for (const auto& r : zlint::rule_names()) std::printf(" %s", r.c_str());
       std::puts("\nsuppress with: // zlint-allow(rule): reason");
@@ -92,32 +212,61 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
 
   std::vector<zlint::Diagnostic> all;
-  for (const auto& f : files) {
-    std::error_code ec;
-    fs::path rel = fs::relative(f, root, ec);
-    if (ec || rel.empty()) rel = f;
-    auto diags = zlint::analyze_file(f.string(), rel.generic_string());
+  if (project) {
+    std::vector<zlint::ProjectFile> pfiles;
+    pfiles.reserve(files.size());
+    for (const auto& f : files) {
+      std::error_code ec;
+      fs::path rel = fs::relative(f, root, ec);
+      if (ec || rel.empty()) rel = f;
+      std::ifstream in(f, std::ios::binary);
+      if (!in) {
+        all.push_back({rel.generic_string(), 0, "io-error", "cannot open file"});
+        continue;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      pfiles.push_back({rel.generic_string(), ss.str()});
+    }
+    if (output == Output::kFacts) {
+      std::vector<zlint::FileFacts> facts;
+      facts.reserve(pfiles.size());
+      for (const auto& pf : pfiles) {
+        facts.push_back(zlint::extract_facts(pf.rel_path, pf.text));
+      }
+      print_facts(facts);
+      return 0;
+    }
+    auto diags = zlint::analyze_project(pfiles);
     all.insert(all.end(), std::make_move_iterator(diags.begin()),
                std::make_move_iterator(diags.end()));
+  } else {
+    if (output == Output::kFacts) {
+      std::fprintf(stderr, "zlint: --facts requires --project\n");
+      return 2;
+    }
+    for (const auto& f : files) {
+      std::error_code ec;
+      fs::path rel = fs::relative(f, root, ec);
+      if (ec || rel.empty()) rel = f;
+      auto diags = zlint::analyze_file(f.string(), rel.generic_string());
+      all.insert(all.end(), std::make_move_iterator(diags.begin()),
+                 std::make_move_iterator(diags.end()));
+    }
   }
 
-  if (json) {
-    std::printf("[");
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      const auto& d = all[i];
-      std::printf("%s\n  {\"path\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
-                  "\"message\": \"%s\"}",
-                  i == 0 ? "" : ",", json_escape(d.path).c_str(), d.line,
-                  json_escape(d.rule).c_str(), json_escape(d.message).c_str());
-    }
-    std::printf("%s]\n", all.empty() ? "" : "\n");
+  if (output == Output::kJson) {
+    print_json(all);
+  } else if (output == Output::kSarif) {
+    print_sarif(all);
   } else {
     for (const auto& d : all) std::puts(zlint::to_string(d).c_str());
     if (!all.empty()) {
-      std::fprintf(stderr, "zlint: %zu diagnostic%s in %zu file%s\n", all.size(),
-                   all.size() == 1 ? "" : "s", files.size(),
-                   files.size() == 1 ? "" : "s");
+      std::fprintf(stderr, "zlint: %zu diagnostic%s in %zu file%s%s\n",
+                   all.size(), all.size() == 1 ? "" : "s", files.size(),
+                   files.size() == 1 ? "" : "s",
+                   warn_only ? " (warn-only)" : "");
     }
   }
-  return all.empty() ? 0 : 1;
+  return all.empty() || warn_only ? 0 : 1;
 }

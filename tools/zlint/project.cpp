@@ -1,0 +1,354 @@
+// zlint phase 2: cross-TU rules over the merged fact base (see zlint.hpp).
+//
+// Phase 1 (extract_facts, zlint.cpp) reduces every file to a small fact
+// record; everything here works on those records only — no re-lexing, no
+// filesystem. That keeps the cross-TU rules trivially testable in-process
+// (tests hand analyze_project a vector of {path, text} pairs) and keeps
+// the whole project pass linear in total source size.
+
+#include "zlint.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace zlint {
+
+namespace {
+
+void emit(std::vector<Diagnostic>& diags, const std::string& path, int line,
+          std::string_view rule, std::string message) {
+  diags.push_back({path, line, std::string(rule), std::move(message)});
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// -------------------------------------------------------------------------
+// rng-substream: every sim::Rng(seed, <stream>) names a registry constant;
+// raw literals and colliding stream IDs are errors.
+// -------------------------------------------------------------------------
+
+void rule_rng_substream(const std::vector<FileFacts>& facts,
+                        std::vector<Diagnostic>& diags) {
+  // Merge the registry. Later duplicate *names* shadow nothing — both stay,
+  // and duplicate *values* are the collision the rule exists to prevent.
+  std::vector<const StreamDef*> defs;
+  std::vector<const FileFacts*> def_files;
+  for (const FileFacts& f : facts) {
+    for (const StreamDef& d : f.stream_defs) {
+      defs.push_back(&d);
+      def_files.push_back(&f);
+    }
+  }
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (defs[i]->value != defs[j]->value) continue;
+      emit(diags, def_files[i]->path, defs[i]->line, "rng-substream",
+           "substream collision: '" + defs[i]->name + "' and '" +
+               defs[j]->name + "' are both " + std::to_string(defs[i]->value) +
+               "; every RNG substream ID must be unique project-wide");
+    }
+  }
+
+  const bool have_registry = !defs.empty();
+  const auto is_registered = [&](const std::string& name) {
+    for (const StreamDef* d : defs) {
+      if (d->name == name) return true;
+    }
+    return false;
+  };
+
+  for (const FileFacts& f : facts) {
+    if (!f.stream_defs.empty()) continue;  // the registry itself
+    for (const RngUse& u : f.rng_uses) {
+      if (u.is_literal) {
+        emit(diags, f.path, u.line, "rng-substream",
+             "raw integer literal " + u.arg +
+                 " as an RNG substream; name it in src/sim/substreams.hpp "
+                 "and use the constant (zlint enforces uniqueness there)");
+      } else if (have_registry && !is_registered(u.arg)) {
+        emit(diags, f.path, u.line, "rng-substream",
+             "'" + u.arg +
+                 "' is not a registered substream constant; add it to "
+                 "src/sim/substreams.hpp");
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// shared-mutable-state: mutable namespace-scope variables and non-const
+// function-local statics — cross-run (and, under PDES sharding, cross-
+// shard) state that breaks the "one (scenario, seed) -> one bit pattern"
+// contract.
+// -------------------------------------------------------------------------
+
+void rule_shared_mutable_state(const std::vector<FileFacts>& facts,
+                               std::vector<Diagnostic>& diags) {
+  for (const FileFacts& f : facts) {
+    for (const GlobalDecl& g : f.globals) {
+      if (g.static_local) {
+        emit(diags, f.path, g.line, "shared-mutable-state",
+             "non-const static local '" + g.name +
+                 "' is shared across all instances and threads; make it a "
+                 "member, or suppress with a reviewed reason");
+      } else {
+        emit(diags, f.path, g.line, "shared-mutable-state",
+             "mutable namespace-scope/static variable '" + g.name +
+                 "' is process-global state; results must depend only on "
+                 "(scenario, seed) — plumb it through a config/context, or "
+                 "suppress with a reviewed reason");
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// include-graph: cycles, orphan headers, transitive layer violations.
+// -------------------------------------------------------------------------
+
+struct Graph {
+  // adj[i] = {target index, include line in source file}
+  std::vector<std::vector<std::pair<int, int>>> adj;
+  std::vector<int> order;  ///< node indices sorted by path (stable output)
+};
+
+int resolve_include(const std::vector<FileFacts>& facts,
+                    const std::map<std::string, int>& index,
+                    const FileFacts& from, const IncludeFact& inc) {
+  (void)facts;
+  const std::string candidates[] = {
+      "src/" + inc.target,
+      dirname_of(from.path).empty() ? inc.target
+                                    : dirname_of(from.path) + "/" + inc.target,
+      inc.target,
+  };
+  for (const std::string& c : candidates) {
+    const auto it = index.find(c);
+    if (it != index.end()) return it->second;
+  }
+  return -1;
+}
+
+Graph build_graph(const std::vector<FileFacts>& facts,
+                  const std::map<std::string, int>& index) {
+  Graph g;
+  g.adj.resize(facts.size());
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    for (const IncludeFact& inc : facts[i].includes) {
+      if (!inc.quoted) continue;
+      const int to = resolve_include(facts, index, facts[i], inc);
+      if (to >= 0 && to != static_cast<int>(i)) {
+        g.adj[i].push_back({to, inc.line});
+      }
+    }
+    g.order.push_back(static_cast<int>(i));
+  }
+  std::sort(g.order.begin(), g.order.end(), [&](int a, int b) {
+    return facts[a].path < facts[b].path;
+  });
+  return g;
+}
+
+void find_cycles(const std::vector<FileFacts>& facts, const Graph& g,
+                 std::vector<Diagnostic>& diags) {
+  enum { kWhite, kGray, kBlack };
+  std::vector<int> color(facts.size(), kWhite);
+  std::vector<int> stack;  // current DFS path (node indices)
+  std::set<std::string> seen_cycles;
+
+  // Iterative DFS with an explicit edge cursor per frame.
+  struct Frame {
+    int node;
+    std::size_t edge = 0;
+  };
+  for (const int root : g.order) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> frames{{root}};
+    color[root] = kGray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.edge < g.adj[fr.node].size()) {
+        const auto [to, line] = g.adj[fr.node][fr.edge++];
+        if (color[to] == kWhite) {
+          color[to] = kGray;
+          stack.push_back(to);
+          frames.push_back({to});
+        } else if (color[to] == kGray) {
+          // Back-edge: the cycle is stack[pos(to)..end] + to.
+          auto pos = std::find(stack.begin(), stack.end(), to);
+          std::vector<int> cycle(pos, stack.end());
+          // Canonical form for dedup: rotate to the smallest path.
+          std::size_t min_at = 0;
+          for (std::size_t k = 1; k < cycle.size(); ++k) {
+            if (facts[cycle[k]].path < facts[cycle[min_at]].path) min_at = k;
+          }
+          std::rotate(cycle.begin(), cycle.begin() + min_at, cycle.end());
+          std::string key, chain;
+          for (const int n : cycle) {
+            key += facts[n].path + "|";
+            chain += facts[n].path + " -> ";
+          }
+          chain += facts[cycle.front()].path;
+          if (seen_cycles.insert(key).second) {
+            emit(diags, facts[fr.node].path, line, "include-graph",
+                 "include cycle: " + chain);
+          }
+        }
+      } else {
+        color[fr.node] = kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+void find_orphans(const std::vector<FileFacts>& facts, const Graph& g,
+                  std::vector<Diagnostic>& diags) {
+  std::vector<char> reached(facts.size(), 0);
+  std::vector<int> work;
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    if (!facts[i].is_header) {  // every TU is a reachability root
+      reached[i] = 1;
+      work.push_back(static_cast<int>(i));
+    }
+  }
+  while (!work.empty()) {
+    const int n = work.back();
+    work.pop_back();
+    for (const auto& [to, line] : g.adj[n]) {
+      (void)line;
+      if (!reached[to]) {
+        reached[to] = 1;
+        work.push_back(to);
+      }
+    }
+  }
+  for (const int i : g.order) {
+    if (facts[i].is_header && !reached[i]) {
+      emit(diags, facts[i].path,
+           facts[i].first_code_line > 0 ? facts[i].first_code_line : 1,
+           "include-graph",
+           "header is unreachable from every translation unit in the "
+           "scanned set; delete it, include it, or suppress with the "
+           "consumer named in the reason");
+    }
+  }
+}
+
+void find_transitive_violations(const std::vector<FileFacts>& facts,
+                                const Graph& g,
+                                std::vector<Diagnostic>& diags) {
+  for (const int f : g.order) {
+    const FileFacts& from = facts[f];
+    if (!from.in_src) continue;
+    // Layers this file touches directly: the per-edge include-layering rule
+    // already owns those; the transitive rule reports only what it misses.
+    std::set<std::string> direct_layers;
+    for (const auto& [to, line] : g.adj[f]) {
+      (void)line;
+      direct_layers.insert(facts[to].layer);
+    }
+    // BFS, remembering each node's parent to rebuild the chain.
+    std::vector<int> parent(facts.size(), -2);
+    std::vector<int> depth(facts.size(), 0);
+    std::vector<int> queue;
+    parent[f] = -1;
+    queue.push_back(f);
+    std::set<std::string> reported_layers;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int n = queue[qi];
+      for (const auto& [to, line] : g.adj[n]) {
+        (void)line;
+        if (parent[to] != -2) continue;
+        parent[to] = n;
+        depth[to] = depth[n] + 1;
+        queue.push_back(to);
+        const FileFacts& target = facts[to];
+        if (depth[to] < 2 || !target.in_src) continue;
+        if (target.layer == from.layer) continue;
+        if (layer_edge_allowed(from.layer, target.layer)) continue;
+        if (direct_layers.count(target.layer) > 0) continue;
+        if (!reported_layers.insert(target.layer).second) continue;
+        std::string chain = from.path;
+        std::vector<int> rev;
+        for (int n2 = to; n2 != f; n2 = parent[n2]) rev.push_back(n2);
+        for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+          chain += " -> " + facts[*it].path;
+        }
+        // The first hop of the chain is the include to blame.
+        const int first_hop = rev.back();
+        int line_of_first_hop = 1;
+        for (const auto& [t2, l2] : g.adj[f]) {
+          if (t2 == first_hop) {
+            line_of_first_hop = l2;
+            break;
+          }
+        }
+        emit(diags, from.path, line_of_first_hop, "include-graph",
+             "layer '" + from.layer + "' transitively includes '" +
+                 target.path + "' (layer '" + target.layer +
+                 "', not allowed): " + chain);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run_project_rules(const std::vector<FileFacts>& facts) {
+  std::vector<Diagnostic> diags;
+
+  rule_rng_substream(facts, diags);
+  rule_shared_mutable_state(facts, diags);
+  for (const FileFacts& f : facts) {
+    diags.insert(diags.end(), f.hazards.begin(), f.hazards.end());
+  }
+
+  std::map<std::string, int> index;
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    index[facts[i].path] = static_cast<int>(i);
+  }
+  const Graph g = build_graph(facts, index);
+  find_cycles(facts, g, diags);
+  find_orphans(facts, g, diags);
+  find_transitive_violations(facts, g, diags);
+
+  // Apply each file's suppressions to the project-level diagnostics.
+  std::erase_if(diags, [&](const Diagnostic& d) {
+    const auto fit = index.find(d.path);
+    if (fit == index.end()) return false;
+    const auto& supp = facts[fit->second].suppressions;
+    const auto it = supp.find(d.line);
+    if (it == supp.end()) return false;
+    return it->second.count(d.rule) > 0 || it->second.count("*") > 0;
+  });
+  return diags;
+}
+
+std::vector<Diagnostic> analyze_project(const std::vector<ProjectFile>& files) {
+  std::vector<Diagnostic> diags;
+  std::vector<FileFacts> facts;
+  facts.reserve(files.size());
+  for (const ProjectFile& f : files) {
+    auto per_file = analyze_source(f.rel_path, f.text);
+    diags.insert(diags.end(), std::make_move_iterator(per_file.begin()),
+                 std::make_move_iterator(per_file.end()));
+    facts.push_back(extract_facts(f.rel_path, f.text));
+  }
+  auto project = run_project_rules(facts);
+  diags.insert(diags.end(), std::make_move_iterator(project.begin()),
+               std::make_move_iterator(project.end()));
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  return diags;
+}
+
+}  // namespace zlint

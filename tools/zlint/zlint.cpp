@@ -37,13 +37,20 @@ struct FileInfo {
   std::vector<Include> includes;
   /// line -> rules silenced on that line ("*" silences everything).
   std::map<int, std::set<std::string>> suppressions;
+  /// Lines holding a zlint-allow clause with no ": reason" after it.
+  std::vector<int> bad_allow_lines;
+  /// First line that produced a token or an include (0 if none).
+  int first_code_line = 0;
 };
 
 bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
 bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
 /// Extract every rule named in `zlint-allow(rule[,rule...])` clauses.
-std::vector<std::string> parse_allow_rules(std::string_view comment) {
+/// Sets *missing_reason (when non-null) if any clause lacks the mandatory
+/// ": reason" tail after the closing paren.
+std::vector<std::string> parse_allow_rules(std::string_view comment,
+                                           bool* missing_reason = nullptr) {
   std::vector<std::string> out;
   static constexpr std::string_view kTag = "zlint-allow(";
   std::size_t pos = 0;
@@ -61,6 +68,23 @@ std::vector<std::string> parse_allow_rules(std::string_view comment) {
       if (comma == std::string_view::npos) break;
       rules.remove_prefix(comma + 1);
     }
+    if (missing_reason != nullptr) {
+      // Require ": <non-space>" after the close paren (whitespace allowed
+      // around the colon; "*/" may end a block-comment clause).
+      std::size_t j = close + 1;
+      while (j < comment.size() && (comment[j] == ' ' || comment[j] == '\t'))
+        ++j;
+      bool ok = j < comment.size() && comment[j] == ':';
+      if (ok) {
+        ++j;
+        while (j < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[j]))) {
+          ++j;
+        }
+        ok = j < comment.size() && comment.compare(j, 2, "*/") != 0;
+      }
+      if (!ok) *missing_reason = true;
+    }
     pos = close;
   }
   return out;
@@ -72,13 +96,28 @@ FileInfo lex(std::string_view text) {
   std::size_t i = 0;
   int line = 1;
   int last_code_line = 0;  // last line that produced a token
+  int paren_depth = 0;     // ( ) nesting, for statement-end detection
 
   // Suppressions from own-line comments wait here until the next line of
-  // code (or include) appears, however many comment lines intervene.
+  // code (or include) appears, however many comment lines intervene. Once
+  // flushed they also stay active for the rest of that *statement*, so a
+  // suppression above a multi-line call covers its continuation lines.
   std::vector<std::string> pending;
+  std::set<std::string> stmt_rules;  // active until the statement ends
   const auto flush_pending = [&](int code_line) {
-    for (auto& r : pending) out.suppressions[code_line].insert(std::move(r));
+    if (pending.empty()) return;
+    for (auto& r : pending) {
+      out.suppressions[code_line].insert(r);
+      stmt_rules.insert(std::move(r));
+    }
     pending.clear();
+  };
+  const auto note_code_line = [&](int code_line) {
+    if (out.first_code_line == 0) out.first_code_line = code_line;
+    flush_pending(code_line);
+    if (!stmt_rules.empty()) {
+      out.suppressions[code_line].insert(stmt_rules.begin(), stmt_rules.end());
+    }
   };
 
   const auto peek = [&](std::size_t off) -> char {
@@ -101,7 +140,9 @@ FileInfo lex(std::string_view text) {
       const std::size_t start = i;
       const bool own_line = last_code_line != line;
       while (i < n && text[i] != '\n') ++i;
-      auto rules = parse_allow_rules(text.substr(start, i - start));
+      bool missing = false;
+      auto rules = parse_allow_rules(text.substr(start, i - start), &missing);
+      if (missing) out.bad_allow_lines.push_back(line);
       for (auto& r : rules) {
         if (own_line) pending.push_back(std::move(r));
         else out.suppressions[line].insert(std::move(r));
@@ -119,7 +160,9 @@ FileInfo lex(std::string_view text) {
         ++i;
       }
       if (i < n) i += 2;
-      auto rules = parse_allow_rules(text.substr(start, i - start));
+      bool missing = false;
+      auto rules = parse_allow_rules(text.substr(start, i - start), &missing);
+      if (missing) out.bad_allow_lines.push_back(start_line);
       for (auto& r : rules) {
         if (own_line) pending.push_back(std::move(r));
         else out.suppressions[start_line].insert(std::move(r));
@@ -139,7 +182,7 @@ FileInfo lex(std::string_view text) {
           const std::size_t tstart = j + 1;
           std::size_t tend = tstart;
           while (tend < n && text[tend] != closer && text[tend] != '\n') ++tend;
-          flush_pending(line);
+          note_code_line(line);
           out.includes.push_back(
               {std::string(text.substr(tstart, tend - tstart)),
                closer == '"', line});
@@ -211,7 +254,7 @@ FileInfo lex(std::string_view text) {
           break;
         }
       }
-      flush_pending(line);
+      note_code_line(line);
       out.tokens.push_back({TokKind::kNumber, text.substr(start, i - start), line});
       last_code_line = line;
       continue;
@@ -220,7 +263,7 @@ FileInfo lex(std::string_view text) {
     if (ident_start(c)) {
       const std::size_t start = i;
       while (i < n && ident_char(text[i])) ++i;
-      flush_pending(line);
+      note_code_line(line);
       out.tokens.push_back({TokKind::kIdent, text.substr(start, i - start), line});
       last_code_line = line;
       continue;
@@ -230,7 +273,8 @@ FileInfo lex(std::string_view text) {
     {
       static constexpr std::string_view kTwo[] = {"::", "==", "!=", "->",
                                                   "<=", ">=", "&&", "||",
-                                                  "<<", ">>", "++", "--"};
+                                                  "<<", ">>", "++", "--",
+                                                  "+=", "-=", "*=", "/="};
       std::size_t len = 1;
       for (const auto op : kTwo) {
         if (text.compare(i, op.size(), op) == 0) {
@@ -238,8 +282,17 @@ FileInfo lex(std::string_view text) {
           break;
         }
       }
-      flush_pending(line);
-      out.tokens.push_back({TokKind::kPunct, text.substr(i, len), line});
+      note_code_line(line);
+      const std::string_view tok = text.substr(i, len);
+      out.tokens.push_back({TokKind::kPunct, tok, line});
+      if (tok == "(") ++paren_depth;
+      else if (tok == ")") paren_depth = std::max(0, paren_depth - 1);
+      // Statement boundary: a top-level ';' or any brace ends the reach of
+      // an own-line suppression (';' inside an argument-list lambda body
+      // does not — the enclosing statement is still open).
+      if (paren_depth == 0 && (tok == ";" || tok == "{" || tok == "}")) {
+        stmt_rules.clear();
+      }
       last_code_line = line;
       i += len;
     }
@@ -274,8 +327,11 @@ const std::map<std::string_view, std::set<std::string_view>>& allowed_edges() {
       {"queue", {"sim", "net", "obs"}},
       {"rtc", {"sim", "stats", "obs"}},
       {"wireless", {"sim", "net", "queue", "trace", "obs"}},
-      {"baseline", {"sim", "net", "stats"}},
-      {"cca", {"sim", "net", "stats"}},
+      // baseline/cca may see obs: net/packet.hpp (which both consume) pulls
+      // in obs/spans.hpp for latency-span stamps, so the edge exists
+      // transitively regardless; naming it keeps the DAG honest.
+      {"baseline", {"sim", "net", "stats", "obs"}},
+      {"cca", {"sim", "net", "stats", "obs"}},
       {"transport", {"sim", "net", "stats", "rtc", "cca", "obs"}},
       {"core", {"sim", "net", "stats", "queue", "obs"}},
       {"fault", {"sim", "net", "obs"}},
@@ -555,6 +611,343 @@ void rule_include_layering(const FileInfo& f, const FileClass& fc,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Phase-1 fact extraction (project mode).
+// ---------------------------------------------------------------------------
+
+std::string_view path_basename(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+/// Parse an integer literal token (decimal or hex, digit separators and
+/// u/l suffixes allowed). Returns false for floating literals.
+bool parse_int_literal(std::string_view text, std::int64_t* out) {
+  std::string digits;
+  digits.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\'') continue;
+    digits += c;
+  }
+  int base = 10;
+  std::size_t pos = 0;
+  if (digits.size() > 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    base = 16;
+    pos = 2;
+  }
+  std::int64_t v = 0;
+  bool any = false;
+  for (; pos < digits.size(); ++pos) {
+    const char c = digits[pos];
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else if (c == 'u' || c == 'U' || c == 'l' || c == 'L') continue;  // suffix
+    else return false;  // '.', 'e', 'p', ... — not an integer literal
+    v = v * base + d;
+    any = true;
+  }
+  if (!any) return false;
+  *out = v;
+  return true;
+}
+
+/// The time-unit suffix of an identifier (after the last underscore,
+/// ignoring a trailing member-variable underscore), or empty.
+std::string_view unit_suffix(std::string_view name) {
+  while (!name.empty() && name.back() == '_') name.remove_suffix(1);
+  const std::size_t us = name.find_last_of('_');
+  if (us == std::string_view::npos || us == 0) return {};
+  const std::string_view suf = name.substr(us + 1);
+  if (suf == "ns" || suf == "us" || suf == "ms" || suf == "s") return suf;
+  return {};
+}
+
+/// sim::Rng(seed, <stream>) construction sites. Handles direct
+/// constructions (`sim::Rng(seed, 31)`, `sim::Rng rng(seed, 7)`) and the
+/// template-argument form (`std::make_unique<sim::Rng>(seed, 11)`).
+/// Declarations (`explicit Rng(... = ...)`, `sim::Rng& rng` parameters)
+/// never match: they either lack a '(' right after `Rng` or carry a
+/// defaulted argument.
+void extract_rng_uses(const FileInfo& f, std::vector<RngUse>& out) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "Rng") continue;
+    if (i > 0 && (t[i - 1].text == "class" || t[i - 1].text == "struct" ||
+                  t[i - 1].text == "explicit" || t[i - 1].text == "~")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == ">") ++j;  // make_unique<sim::Rng>(...)
+    // Declaration form: `sim::Rng rng(seed, stream)` — one identifier (the
+    // variable name) may sit between the type and the argument list.
+    if (j < t.size() && t[j].kind == TokKind::kIdent) ++j;
+    if (j >= t.size() || t[j].text != "(") continue;
+    // Split the argument list at top-level commas.
+    std::vector<std::vector<std::size_t>> args(1);
+    int depth = 1;
+    std::size_t k = j + 1;
+    for (; k < t.size() && depth > 0; ++k) {
+      const std::string_view s = t[k].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") { --depth; if (depth == 0) break; }
+      else if (s == "," && depth == 1) { args.emplace_back(); continue; }
+      if (depth > 0) args.back().push_back(k);
+    }
+    if (args.size() != 2 || args[1].empty()) continue;
+    const auto& arg = args[1];
+    bool is_decl = false;
+    for (const std::size_t ai : arg) {
+      if (t[ai].text == "=") is_decl = true;  // defaulted param: declaration
+    }
+    if (is_decl) continue;
+    RngUse use;
+    use.line = t[i].line;
+    if (arg.size() == 1 && t[arg[0]].kind == TokKind::kNumber) {
+      std::int64_t v = 0;
+      if (!parse_int_literal(t[arg[0]].text, &v)) continue;  // float: not ours
+      use.is_literal = true;
+      use.value = v;
+      use.arg = std::string(t[arg[0]].text);
+      out.push_back(std::move(use));
+      continue;
+    }
+    // Named expression: take the last identifier (handles `substreams::kX`,
+    // `cfg.stream`, plain `kX`). Reject anything with operators beyond
+    // scope/member access — a computed stream is not a registry name.
+    std::string last_ident;
+    bool simple = true;
+    bool prev_ident = false;
+    bool param_decl = false;
+    for (const std::size_t ai : arg) {
+      const Token& tok = t[ai];
+      if (tok.kind == TokKind::kIdent) {
+        // Two adjacent identifiers (`std::uint64_t stream`) mean this is a
+        // function *declaration* parameter list, not a construction.
+        if (prev_ident) param_decl = true;
+        last_ident = std::string(tok.text);
+        prev_ident = true;
+      } else if (tok.kind == TokKind::kPunct &&
+                 (tok.text == "::" || tok.text == "." || tok.text == "->")) {
+        prev_ident = false;  // scope/member access: still a name
+      } else {
+        simple = false;
+        prev_ident = false;
+      }
+    }
+    if (param_decl || last_ident.empty()) continue;
+    use.arg = simple ? last_ident : "<expr>";
+    out.push_back(std::move(use));
+  }
+}
+
+/// Named substream constants from a registry file (any scanned file named
+/// substreams.hpp): `[inline] constexpr <int-type> kName = <int>;`.
+void extract_stream_defs(const FileInfo& f, std::vector<StreamDef>& out) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "constexpr") continue;
+    std::string name;
+    std::int64_t value = 0;
+    bool have_value = false;
+    int name_line = t[i].line;
+    for (std::size_t j = i + 1; j + 2 < t.size(); ++j) {
+      if (t[j].text == ";" || t[j].text == "{") break;
+      if (t[j].kind == TokKind::kIdent && t[j + 1].text == "=" &&
+          t[j + 2].kind == TokKind::kNumber) {
+        if (parse_int_literal(t[j + 2].text, &value)) {
+          name = std::string(t[j].text);
+          name_line = t[j].line;
+          have_value = j + 3 < t.size() && t[j + 3].text == ";";
+        }
+        break;
+      }
+    }
+    if (have_value && !name.empty()) out.push_back({name_line, name, value});
+  }
+}
+
+/// Statement/scope walker for shared-mutable-state: classifies each brace
+/// scope (namespace / class / function / brace-init) from the statement
+/// tokens preceding it, then inspects completed statements for mutable
+/// namespace-scope variables, non-const static locals, and static data
+/// members.
+void extract_globals(const FileInfo& f, std::vector<GlobalDecl>& out) {
+  enum class Scope { kNamespace, kClass, kFunction, kInit };
+  const auto& t = f.tokens;
+  std::vector<Scope> scopes;
+  std::vector<std::size_t> stmt;  // token indices of the open statement
+  int paren_depth = 0;
+
+  const auto current = [&] {
+    return scopes.empty() ? Scope::kNamespace : scopes.back();
+  };
+  const auto stmt_has = [&](std::string_view word) {
+    for (const std::size_t si : stmt) {
+      if (t[si].kind == TokKind::kIdent && t[si].text == word) return true;
+    }
+    return false;
+  };
+
+  const auto evaluate = [&] {
+    if (stmt.empty()) return;
+    const Scope scope = current();
+    if (scope == Scope::kInit) return;
+    const bool is_static = stmt_has("static") || stmt_has("thread_local");
+    if (scope == Scope::kFunction && !is_static) return;
+    if (scope == Scope::kClass && !is_static) return;  // plain members: per-instance
+    if (stmt_has("const") || stmt_has("constexpr") || stmt_has("consteval"))
+      return;
+    static const std::set<std::string_view> kNotAVar = {
+        "using",  "typedef",  "friend", "operator", "template", "concept",
+        "return", "namespace", "class",  "struct",   "union",    "enum",
+        "goto",   "break",     "continue", "if", "for", "while", "switch",
+        "case",   "default",   "do", "throw", "delete", "new", "extern"};
+    for (const std::size_t si : stmt) {
+      if (t[si].kind == TokKind::kIdent && kNotAVar.count(t[si].text) > 0)
+        return;
+    }
+    // A '(' before any '=' means a function declaration/definition or a
+    // macro invocation, not a variable.
+    std::size_t eq = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const std::string_view s = t[stmt[k]].text;
+      if (s == "=") { eq = k; break; }
+      if (s == "(") return;
+    }
+    // Declarator name: last identifier before '=' (or before a '[' array
+    // extent, or the last identifier overall).
+    std::size_t name_idx = stmt.size();
+    for (std::size_t k = 0; k < eq; ++k) {
+      const std::string_view s = t[stmt[k]].text;
+      if (s == "[") break;
+      if (t[stmt[k]].kind == TokKind::kIdent) name_idx = k;
+    }
+    if (name_idx >= stmt.size() || name_idx == 0) return;  // need type + name
+    const Token& name = t[stmt[name_idx]];
+    out.push_back({name.line, std::string(name.text),
+                   scope == Scope::kFunction});
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "(") ++paren_depth;
+      else if (tok.text == ")") paren_depth = std::max(0, paren_depth - 1);
+      if (paren_depth == 0) {
+        if (tok.text == "{") {
+          Scope kind;
+          const std::string_view prev =
+              stmt.empty() ? std::string_view() : t[stmt.back()].text;
+          if (stmt_has("namespace")) kind = Scope::kNamespace;
+          else if (stmt_has("class") || stmt_has("struct") ||
+                   stmt_has("union") || stmt_has("enum")) {
+            kind = Scope::kClass;
+          } else if (current() == Scope::kFunction) kind = Scope::kFunction;
+          else if (prev == ")") kind = Scope::kFunction;
+          else if (prev == "=" || stmt_has("=") ||
+                   (!stmt.empty() && t[stmt.back()].kind == TokKind::kIdent)) {
+            kind = Scope::kInit;  // brace init: `Type x{...}` / `= {...}`
+          } else {
+            kind = Scope::kFunction;  // bare block; be conservative
+          }
+          scopes.push_back(kind);
+          if (kind != Scope::kInit) stmt.clear();
+          continue;
+        }
+        if (tok.text == "}") {
+          const bool was_init = current() == Scope::kInit;
+          if (!scopes.empty()) scopes.pop_back();
+          if (!was_init) stmt.clear();
+          continue;
+        }
+        if (tok.text == ";") {
+          evaluate();
+          stmt.clear();
+          continue;
+        }
+      }
+    }
+    stmt.push_back(i);
+  }
+}
+
+/// time-unit hazards: (a) arithmetic/comparison between identifiers with
+/// different *_ns/*_us/*_ms/*_s suffixes (an explicit conversion call
+/// breaks the ident-op-ident adjacency and therefore never fires); (b)
+/// float/double variables that carry nanoseconds — a declaration whose
+/// name is _ns-suffixed, or `+=` accumulation of an _ns identifier into a
+/// float/double variable (skipped in stats/, where summary statistics
+/// legitimately live in doubles).
+void extract_time_hazards(const FileInfo& f, std::string_view path,
+                          std::string_view layer,
+                          std::vector<Diagnostic>& out) {
+  const auto& t = f.tokens;
+  static const std::set<std::string_view> kMixOps = {
+      "+", "-", "*", "/", "<", ">", "<=", ">=", "==", "!=", "+=", "-="};
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct || kMixOps.count(t[i].text) == 0) continue;
+    if (t[i - 1].kind != TokKind::kIdent || t[i + 1].kind != TokKind::kIdent)
+      continue;
+    const std::string_view a = unit_suffix(t[i - 1].text);
+    const std::string_view b = unit_suffix(t[i + 1].text);
+    if (a.empty() || b.empty() || a == b) continue;
+    // A unit-suffixed *call* on the right (`x_ms < t.count_ms()`) is the
+    // conversion idiom, not a mix — but only if the units agree; reaching
+    // here the units differ, so flag regardless of a following '('.
+    out.push_back(
+        {std::string(path), t[i].line, "time-unit",
+         "'" + std::string(t[i - 1].text) + "' (" + std::string(a) + ") " +
+             std::string(t[i].text) + " '" + std::string(t[i + 1].text) +
+             "' (" + std::string(b) +
+             "): mixed time units without an explicit conversion call"});
+  }
+
+  if (layer == "stats") return;
+  // Float/double variable declarations in this file (same heuristic as
+  // float-equality) + _ns-suffixed declarations.
+  std::set<std::string_view> float_vars;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "double" && t[i].text != "float") ||
+        t[i + 1].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::string_view after = t[i + 2].text;
+    if (after == "=" || after == ";" || after == "," || after == ")" ||
+        after == "{" || after == "+=") {
+      float_vars.insert(t[i + 1].text);
+      if (unit_suffix(t[i + 1].text) == "ns") {
+        out.push_back({std::string(path), t[i].line, "time-unit",
+                       "'" + std::string(t[i + 1].text) +
+                           "' stores nanoseconds in " + std::string(t[i].text) +
+                           "; use std::int64_t (precision degrades past 2^53)"});
+      }
+    }
+  }
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct || t[i].text != "+=") continue;
+    if (t[i - 1].kind != TokKind::kIdent ||
+        float_vars.count(t[i - 1].text) == 0) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const std::string_view s = t[j].text;
+      if (s == ";") break;
+      if (t[j].kind == TokKind::kIdent && unit_suffix(s) == "ns") {
+        out.push_back({std::string(path), t[i].line, "time-unit",
+                       "float/double '" + std::string(t[i - 1].text) +
+                           "' accumulates nanosecond value '" + std::string(s) +
+                           "'; accumulate in std::int64_t and convert at the "
+                           "edge"});
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -569,7 +962,10 @@ std::string to_string(const Diagnostic& d) {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "banned-api", "determinism-hazard", "float-equality", "include-layering"};
+      "banned-api",     "determinism-hazard",   "float-equality",
+      "include-layering",  // single-file rules
+      "rng-substream",  "shared-mutable-state", "time-unit",
+      "include-graph",  "bad-suppression"};  // project-mode rules
   return kNames;
 }
 
@@ -622,6 +1018,40 @@ std::vector<Diagnostic> analyze_file(const std::string& abs_path,
   ss << in.rdbuf();
   const std::string text = ss.str();
   return analyze_source(rel_path, text);
+}
+
+FileFacts extract_facts(std::string_view rel_path, std::string_view text) {
+  const FileClass fc = classify(rel_path);
+  const FileInfo info = lex(text);
+
+  FileFacts facts;
+  facts.path = std::string(rel_path);
+  facts.layer = fc.layer;
+  facts.in_src = fc.in_src;
+  {
+    const std::size_t dot = facts.path.find_last_of('.');
+    const std::string ext = dot == std::string::npos ? "" : facts.path.substr(dot);
+    facts.is_header = ext == ".hpp" || ext == ".h";
+  }
+  facts.first_code_line = info.first_code_line;
+  facts.suppressions = info.suppressions;
+
+  for (const Include& inc : info.includes) {
+    facts.includes.push_back({inc.line, inc.path, inc.quoted});
+  }
+  extract_rng_uses(info, facts.rng_uses);
+  if (path_basename(rel_path) == "substreams.hpp") {
+    extract_stream_defs(info, facts.stream_defs);
+  }
+  extract_globals(info, facts.globals);
+  extract_time_hazards(info, rel_path, fc.layer, facts.hazards);
+  for (const int line : info.bad_allow_lines) {
+    facts.hazards.push_back(
+        {facts.path, line, "bad-suppression",
+         "zlint-allow(...) without a reason clause; write "
+         "`zlint-allow(rule): <why this is safe>`"});
+  }
+  return facts;
 }
 
 }  // namespace zlint
