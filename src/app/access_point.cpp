@@ -238,11 +238,16 @@ std::vector<obs::LadderTransition> AccessPoint::ladder_log() const {
   return log;
 }
 
-Duration AccessPoint::instantaneous_queue_delay(TimePoint now) const {
+Duration AccessPoint::instantaneous_queue_delay(const queue::Qdisc& q,
+                                                TimePoint now) const {
+  // `q` is the qdisc the marked packet is about to enter (a station's own
+  // queue when routed, the default link's otherwise); the dequeue rate is
+  // the AP-wide aggregate, which is what ABC's router-side token rate
+  // tracks on a shared airtime medium.
   const double rate = const_cast<stats::WindowedRate&>(abc_dequeue_rate_)
                           .rate_bps(now)
                           .value_or(10e6);
-  return Duration::from_seconds(static_cast<double>(qdisc_->byte_count()) * 8.0 /
+  return Duration::from_seconds(static_cast<double>(q.byte_count()) * 8.0 /
                                 std::max(rate, 1e3));
 }
 
@@ -265,8 +270,8 @@ void AccessPoint::from_wan(Packet p) {
   }
   queue::Qdisc& dl_qdisc = st != nullptr ? *st->qdisc : *qdisc_;
   if (abc_router_ != nullptr && p.is_tcp() && !p.tcp().is_ack) {
-    p.tcp().abc_mark =
-        abc_router_->mark(p.size_bytes, instantaneous_queue_delay(now), now);
+    p.tcp().abc_mark = abc_router_->mark(
+        p.size_bytes, instantaneous_queue_delay(dl_qdisc, now), now);
   }
   core::ZhugeFlow* zf = zhuge_flow(p.flow);
   Duration predicted = Duration::zero();
@@ -313,6 +318,11 @@ void AccessPoint::on_qdisc_dequeue(const Packet& p, TimePoint now) {
 
 void AccessPoint::on_station_dequeue(Station& st, std::uint32_t ip,
                                      const Packet& p, TimePoint now) {
+  // Station departures feed the same aggregate dequeue-rate window as the
+  // default link's: the ABC router's queue-delay estimate must see the
+  // multi-station path too. Only read when mode == kAbc, so recording it
+  // unconditionally cannot perturb other modes' results.
+  abc_dequeue_rate_.record(now, p.size_bytes);
   if (st.kind == QdiscKind::kFqCoDel) {
     if (auto* zf = zhuge_flow(p.flow); zf != nullptr) {
       zf->on_dequeue(p, now, st.qdisc->byte_count_flow(p.flow) == 0);

@@ -181,7 +181,8 @@ class AccessPoint {
   void on_station_dequeue(Station& st, std::uint32_t ip, const Packet& p,
                           TimePoint now);
   void on_wireless_delivered(const Packet& p, TimePoint now);
-  [[nodiscard]] Duration instantaneous_queue_delay(TimePoint now) const;
+  [[nodiscard]] Duration instantaneous_queue_delay(const queue::Qdisc& q,
+                                                   TimePoint now) const;
 
   sim::Simulator& sim_;
   sim::Rng& rng_;

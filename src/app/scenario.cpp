@@ -13,6 +13,7 @@
 #include "obs/tracer.hpp"
 #include "queue/fifo.hpp"
 #include "sim/substreams.hpp"
+#include "trace/synthetic.hpp"
 #include "transport/rtp_receiver.hpp"
 #include "transport/tcp_receiver.hpp"
 #include "transport/tcp_sender.hpp"
@@ -719,6 +720,9 @@ class MultiScenario {
   net::PacketUidSource uids_;
 
   std::unique_ptr<wireless::Channel> default_channel_;  ///< unused default link
+  /// Synthetic ABW traces for trace-class stations. Declared before the
+  /// channels, which keep raw pointers into them.
+  std::vector<std::unique_ptr<trace::Trace>> station_traces_;
   std::vector<std::unique_ptr<wireless::Channel>> down_channels_;
   std::vector<std::unique_ptr<wireless::Channel>> up_channels_;
   std::unique_ptr<wireless::Medium> medium_;
@@ -848,7 +852,19 @@ void MultiScenario::build() {
 
 void MultiScenario::build_station(int index) {
   const StationGroupSpec& g = spec_.station_group(index);
-  down_channels_.push_back(std::make_unique<wireless::Channel>(g.mcs));
+  if (g.trace_class.has_value()) {
+    // Trace-class station: the downlink ABW follows a synthetic trace of
+    // the spec'd class, seeded per station so a dense group does not fade
+    // in lockstep. The uplink stays in MCS mode (RTCP feedback is small;
+    // the paper's trace-driven runs vary only the bottleneck direction).
+    station_traces_.push_back(std::make_unique<trace::Trace>(trace::make_trace(
+        *g.trace_class, seed_ + static_cast<std::uint64_t>(index),
+        Duration::from_seconds(spec_.duration_s))));
+    down_channels_.push_back(
+        std::make_unique<wireless::Channel>(station_traces_.back().get()));
+  } else {
+    down_channels_.push_back(std::make_unique<wireless::Channel>(g.mcs));
+  }
   up_channels_.push_back(std::make_unique<wireless::Channel>(g.mcs));
 
   AccessPoint::StationConfig scfg;
@@ -964,11 +980,12 @@ void MultiScenario::arrive(const FlowEvent& ev) {
     f->rtp_sender->start();
   } else {
     transport::TcpSender::Config scfg;
-    auto cca = ev.kind == SpecFlowKind::kTcpCubic
-                   ? std::unique_ptr<cca::CongestionControl>(
-                         std::make_unique<cca::Cubic>())
-                   : std::unique_ptr<cca::CongestionControl>(
-                         std::make_unique<cca::Bbr>());
+    std::unique_ptr<cca::CongestionControl> cca;
+    switch (ev.kind) {
+      case SpecFlowKind::kTcpCubic: cca = std::make_unique<cca::Cubic>(); break;
+      case SpecFlowKind::kTcpAbc: cca = std::make_unique<cca::AbcSender>(); break;
+      default: cca = std::make_unique<cca::Bbr>(); break;
+    }
     f->tcp_sender = std::make_unique<transport::TcpSender>(
         sim_, f->flow, std::move(cca), scfg, uids_,
         [this](Packet p) { wan_down_->send(std::move(p)); });

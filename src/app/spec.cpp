@@ -361,6 +361,7 @@ const char* to_string(SpecFlowKind kind) {
     case SpecFlowKind::kRtpGcc: return "rtp_gcc";
     case SpecFlowKind::kTcpCubic: return "tcp_cubic";
     case SpecFlowKind::kTcpBbr: return "tcp_bbr";
+    case SpecFlowKind::kTcpAbc: return "tcp_abc";
   }
   return "?";
 }
@@ -385,6 +386,7 @@ bool parse_flow_kind(const std::string& s, SpecFlowKind& out) {
   if (s == "rtp_gcc") out = SpecFlowKind::kRtpGcc;
   else if (s == "tcp_cubic") out = SpecFlowKind::kTcpCubic;
   else if (s == "tcp_bbr") out = SpecFlowKind::kTcpBbr;
+  else if (s == "tcp_abc") out = SpecFlowKind::kTcpAbc;
   else return false;
   return true;
 }
@@ -401,9 +403,29 @@ bool parse_ap_mode(const std::string& s, ApMode& out) {
   if (s == "none") out = ApMode::kNone;
   else if (s == "zhuge") out = ApMode::kZhuge;
   else if (s == "fastack") out = ApMode::kFastAck;
-  else return false;  // abc needs sender-side changes; not spec-schedulable
+  else if (s == "abc") out = ApMode::kAbc;  // pair with tcp_abc flows
+  else return false;
   return true;
 }
+
+}  // namespace
+
+bool parse_trace_class(const std::string& s, trace::TraceKind& out) {
+  static constexpr trace::TraceKind kAll[] = {
+      trace::TraceKind::kRestaurantWifi, trace::TraceKind::kOfficeWifi,
+      trace::TraceKind::kIndoorMixed45G, trace::TraceKind::kCity4G,
+      trace::TraceKind::kCity5G,         trace::TraceKind::kEthernet,
+      trace::TraceKind::kLegacyCellular};
+  for (const trace::TraceKind k : kAll) {
+    if (s == trace::short_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
 
 double num_field(const Json& obj, const char* key, double fallback) {
   const Json* v = obj.find(key);
@@ -534,7 +556,7 @@ std::optional<ScenarioSpec> parse_scenario_spec(std::string_view text,
   }
 
   if (!parse_ap_mode(str_field(*doc, "ap_mode", "zhuge"), spec.ap_mode)) {
-    return fail("ap_mode must be none|zhuge|fastack");
+    return fail("ap_mode must be none|zhuge|fastack|abc");
   }
   spec.wan_one_way_ms = num_field(*doc, "wan_one_way_ms", spec.wan_one_way_ms);
   spec.wan_rate_mbps = num_field(*doc, "wan_rate_mbps", spec.wan_rate_mbps);
@@ -559,6 +581,14 @@ std::optional<ScenarioSpec> parse_scenario_spec(std::string_view text,
     g.queue_limit_bytes = static_cast<std::int64_t>(
         num_field(sj, "queue_limit_pkts", 300.0) * 1500.0);
     g.leave_s = num_field(sj, "leave_s", -1.0);
+    if (const Json* tc = sj.find("trace"); tc != nullptr) {
+      trace::TraceKind kind{};
+      if (!parse_trace_class(tc->string_or(""), kind)) {
+        return fail(at_line(*tc) +
+                    "stations[].trace must be W1|W2|C1|C2|C3|ETH|ABC");
+      }
+      g.trace_class = kind;
+    }
     if (const Json* fade = sj.find("fade"); fade != nullptr) {
       g.fade.period_s = num_field(*fade, "period_s", 0.0);
       g.fade.depth_mcs = static_cast<int>(num_field(*fade, "depth_mcs", 0));
@@ -576,7 +606,7 @@ std::optional<ScenarioSpec> parse_scenario_spec(std::string_view text,
     for (const auto& fj : flows->array()) {
       SpecFlow f;
       if (!parse_flow_kind(str_field(fj, "kind", "rtp_gcc"), f.kind)) {
-        return fail("flows[].kind must be rtp_gcc|tcp_cubic|tcp_bbr");
+        return fail("flows[].kind must be rtp_gcc|tcp_cubic|tcp_bbr|tcp_abc");
       }
       f.station = static_cast<int>(num_field(fj, "station", 0));
       if (f.station < 0 || f.station >= n_stations) {

@@ -22,6 +22,7 @@
 #include "app/access_point.hpp"
 #include "fault/fault.hpp"
 #include "obs/slo.hpp"
+#include "trace/synthetic.hpp"
 
 namespace zhuge::app {
 
@@ -98,8 +99,11 @@ class Json {
 // ---------------------------------------------------------------------------
 
 /// Flow families a spec can schedule (RTP/GCC per the paper's RTC workload;
-/// CUBIC and BBR as the competing-TCP workloads of §6/Fig. 16).
-enum class SpecFlowKind : std::uint8_t { kRtpGcc, kTcpCubic, kTcpBbr };
+/// CUBIC and BBR as the competing-TCP workloads of §6/Fig. 16; tcp_abc is
+/// the cooperating sender for the ABC baseline AP — its cwnd follows the
+/// router's accelerate/brake marks, so it only makes sense under
+/// ap_mode "abc").
+enum class SpecFlowKind : std::uint8_t { kRtpGcc, kTcpCubic, kTcpBbr, kTcpAbc };
 
 [[nodiscard]] const char* to_string(SpecFlowKind kind);
 
@@ -119,6 +123,13 @@ struct StationGroupSpec {
   QdiscKind qdisc = QdiscKind::kFifo;
   std::int64_t queue_limit_bytes = 300 * 1500;
   FadeSpec fade{};
+  /// When set ("trace": "W1"|"W2"|"C1"|"C2"|"C3"|"ETH"|"ABC") the station's
+  /// downlink PHY follows a synthetic trace of that class instead of a
+  /// fixed MCS rate; each station in the group gets its own trace drawn
+  /// from seed + station index so a dense group doesn't fade in lockstep.
+  /// `mcs` still sets the uplink rate. Unset = MCS mode (existing specs
+  /// unchanged).
+  std::optional<trace::TraceKind> trace_class{};
   /// When > 0 every station in the group deassociates at this time: the AP
   /// quiesces it (AccessPoint::unregister_station) and its remaining
   /// downlink traffic black-holes. -1 = stays for the whole run.
@@ -185,6 +196,12 @@ struct ScenarioSpec {
   /// The group a station index falls in (station_count() must be > index).
   [[nodiscard]] const StationGroupSpec& station_group(int station) const;
 };
+
+/// Parse a trace-class short name ("W1"..."C3", "ETH", "ABC") into its
+/// generator kind. Shared by the station "trace" key and the eval matrix's
+/// trace axis.
+[[nodiscard]] bool parse_trace_class(const std::string& s,
+                                     trace::TraceKind& out);
 
 /// Parse a spec document. Unknown keys are ignored (forward compatibility)
 /// EXCEPT inside "feedback_faults", which is strictly validated — a typo'd

@@ -1,8 +1,15 @@
 // Unit tests for the comparison baselines: FastAck (IMC '17) and the ABC
-// router (NSDI '20).
+// router (NSDI '20) — plus integration runs of each baseline as the AP
+// mechanism on a small multi-station scenario (the eval matrix's
+// mechanism axis), pinning one fingerprint per mechanism.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "app/scenario.hpp"
+#include "app/spec.hpp"
+#include "app/sweep.hpp"
 #include "baseline/abc_router.hpp"
 #include "baseline/fastack.hpp"
 
@@ -122,6 +129,104 @@ TEST(AbcRouter, MarkFractionTracksTargetOverCurrent) {
   const double frac = static_cast<double>(accel) / total;
   EXPECT_GT(frac, 0.35);
   EXPECT_LT(frac, 0.65);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines as the AP mechanism, end to end
+// ---------------------------------------------------------------------------
+
+/// Two W1 trace-driven stations, one optimised TCP flow each. ABC runs its
+/// cooperating sender (the mechanism replaces the host stack); the others
+/// compete with CUBIC.
+app::ScenarioSpec small_mechanism_spec(app::ApMode mode) {
+  app::ScenarioSpec spec;
+  spec.name = "baseline_small";
+  spec.duration_s = 6.0;
+  spec.warmup_s = 1.0;
+  spec.seed = 7;
+  spec.ap_mode = mode;
+  app::StationGroupSpec g;
+  g.count = 2;
+  g.trace_class = trace::TraceKind::kRestaurantWifi;
+  spec.stations = {g};
+  for (int i = 0; i < 2; ++i) {
+    app::SpecFlow f;
+    f.kind = mode == app::ApMode::kAbc ? app::SpecFlowKind::kTcpAbc
+                                       : app::SpecFlowKind::kTcpCubic;
+    f.station = i;
+    f.zhuge = true;
+    f.start_s = 0.2 * i;
+    spec.flows.push_back(f);
+  }
+  return spec;
+}
+
+app::MultiStationResult run_mechanism(app::ApMode mode) {
+  return app::run_multi_station(small_mechanism_spec(mode));
+}
+
+void expect_clean_run(const app::MultiStationResult& r) {
+  // Every flow moved traffic, and none of the feedback-path safety
+  // invariants (feedback.ack_order, feedback.twcc_monotone,
+  // feedback.hold_bound, ...) fired — a baseline that reorders or
+  // regresses feedback is a broken baseline, not a slow one.
+  EXPECT_EQ(r.invariant_violations, 0u);
+  EXPECT_EQ(r.stranded_acks, 0u);
+  ASSERT_EQ(r.flows.size(), 2u);
+  for (const auto& f : r.flows) {
+    EXPECT_GT(f.packets_delivered, 0u) << "flow " << f.index;
+    EXPECT_GT(f.goodput_bps, 0.0) << "flow " << f.index;
+  }
+}
+
+/// Pinned per-mechanism fingerprints: the mechanism axis of the eval
+/// matrix must stay bit-stable. Refresh (after an intentional behaviour
+/// change) by running this suite and copying the "got" values.
+struct MechanismPin {
+  app::ApMode mode;
+  const char* name;
+  std::uint64_t fingerprint;
+};
+
+constexpr MechanismPin kMechanismPins[] = {
+    {app::ApMode::kNone, "vanilla", 0x9cf75a18dc09e18full},
+    {app::ApMode::kZhuge, "zhuge", 0x85c0955d4bef0a92ull},
+    {app::ApMode::kFastAck, "fastack", 0xa4d009155353be9cull},
+    {app::ApMode::kAbc, "abc", 0x0ff8908347294ee5ull},
+};
+
+TEST(BaselineIntegration, EachMechanismRunsCleanWithPinnedFingerprint) {
+  for (const auto& pin : kMechanismPins) {
+    SCOPED_TRACE(pin.name);
+    const auto r = run_mechanism(pin.mode);
+    expect_clean_run(r);
+    EXPECT_EQ(app::multi_result_fingerprint(r), pin.fingerprint)
+        << pin.name << " drifted; refresh the pin if intentional";
+  }
+}
+
+TEST(BaselineIntegration, MechanismsProduceDistinctOutcomes) {
+  // The same workload under different AP mechanisms must not collapse to
+  // the same trajectory — if two fingerprints collide, one mechanism is
+  // not actually engaged on the TCP path.
+  std::uint64_t fp[4];
+  for (int i = 0; i < 4; ++i) {
+    fp[i] = app::multi_result_fingerprint(run_mechanism(kMechanismPins[i].mode));
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_NE(fp[i], fp[j])
+          << kMechanismPins[i].name << " vs " << kMechanismPins[j].name;
+    }
+  }
+}
+
+TEST(BaselineIntegration, RunsAreDeterministic) {
+  // Same spec, same seed: bitwise identical results (what the eval golden
+  // anchors stand on).
+  const auto a = run_mechanism(app::ApMode::kFastAck);
+  const auto b = run_mechanism(app::ApMode::kFastAck);
+  EXPECT_EQ(app::multi_result_fingerprint(a), app::multi_result_fingerprint(b));
 }
 
 }  // namespace

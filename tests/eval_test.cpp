@@ -1,0 +1,280 @@
+// Evaluation-matrix suite (src/app/eval.*): cell-count completeness (no
+// silently skipped cells), CDF monotonicity of every verdict, report
+// round-trips (JSON full-inverse, CSV bit-exact spot checks), serial vs
+// 4-thread verdict-fingerprint identity, strict EvalSpec rejection of the
+// known-bad fixtures, and the shipped example spec.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/eval.hpp"
+
+namespace zhuge::app {
+namespace {
+
+/// A small-but-representative matrix: all four mechanisms, both workload
+/// families, a WiFi and a cellular trace, single-station cells. 16 cells,
+/// a few hundred ms wall clock; shared across the suite.
+EvalSpec small_spec() {
+  EvalSpec spec;
+  spec.name = "eval_test_matrix";
+  spec.duration_s = 4.0;
+  spec.warmup_s = 1.0;
+  spec.seed = 3;
+  spec.ccas = {EvalCca::kGcc, EvalCca::kCubic};
+  spec.traces = {trace::TraceKind::kRestaurantWifi,
+                 trace::TraceKind::kIndoorMixed45G};
+  spec.densities = {1};
+  return spec;
+}
+
+const EvalMatrixResult& small_result() {
+  static const EvalMatrixResult res =
+      run_eval_matrix(expand_eval_matrix(small_spec()), 2);
+  return res;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Expansion: complete, uniquely named, explicitly flagged inert cells
+// ---------------------------------------------------------------------------
+
+TEST(EvalMatrix, ExpansionCoversTheFullAxisProduct) {
+  const auto spec = small_spec();
+  const auto cells = expand_eval_matrix(spec);
+  ASSERT_EQ(cells.size(), spec.mechanisms.size() * spec.ccas.size() *
+                              spec.traces.size() * spec.densities.size());
+  std::set<std::string> names;
+  for (const auto& c : cells) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate cell " << c.name;
+    EXPECT_EQ(c.scenario.duration_s, spec.duration_s);
+    EXPECT_EQ(c.scenario.station_count(), c.density);
+    EXPECT_EQ(c.scenario.flows.size(), static_cast<std::size_t>(c.density));
+  }
+  // Inert combinations (fastack/abc under GCC: both act on TCP only) are
+  // present and flagged, not skipped.
+  int inert = 0;
+  for (const auto& c : cells) {
+    if (!c.mechanism_active) ++inert;
+    if (c.cca == EvalCca::kGcc &&
+        (c.mechanism == ApMode::kFastAck || c.mechanism == ApMode::kAbc)) {
+      EXPECT_FALSE(c.mechanism_active) << c.name;
+    }
+    if (c.mechanism == ApMode::kZhuge) {
+      EXPECT_TRUE(c.mechanism_active) << c.name;
+    }
+    if (c.mechanism == ApMode::kNone) {
+      EXPECT_FALSE(c.mechanism_active) << c.name;
+    }
+  }
+  EXPECT_GT(inert, 0);
+}
+
+TEST(EvalMatrix, EveryCellIsJudged) {
+  const auto cells = expand_eval_matrix(small_spec());
+  const auto& res = small_result();
+  ASSERT_EQ(res.cells.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Grid order is preserved and nothing was silently dropped.
+    EXPECT_EQ(res.cells[i].name, cells[i].name);
+    EXPECT_NE(res.cells[i].fingerprint, 0u) << cells[i].name;
+    EXPECT_GT(res.cells[i].frames_sent, 0u) << cells[i].name;
+  }
+  // Every (trace, cca, density) point with a zhuge and a vanilla cell got
+  // a headline verdict: 2 traces x 2 ccas x 1 density.
+  EXPECT_EQ(res.headline.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict sanity: CDFs monotone, ratios in range
+// ---------------------------------------------------------------------------
+
+TEST(EvalMatrix, CdfsAreMonotoneAndRatiosBounded) {
+  for (const auto& c : small_result().cells) {
+    SCOPED_TRACE(c.name);
+    ASSERT_EQ(c.frame_delay_cdf_ms.size(),
+              static_cast<std::size_t>(kEvalCdfDeciles));
+    for (int d = 1; d < kEvalCdfDeciles; ++d) {
+      EXPECT_LE(c.frame_delay_cdf_ms[d - 1], c.frame_delay_cdf_ms[d])
+          << "decile " << d;
+    }
+    // The named quantiles sit on/above the decile grid in order.
+    EXPECT_LE(c.frame_delay_cdf_ms.front(), c.frame_delay_p50_ms);
+    EXPECT_LE(c.frame_delay_p50_ms, c.frame_delay_p95_ms);
+    EXPECT_LE(c.frame_delay_p95_ms, c.frame_delay_p99_ms);
+    EXPECT_GE(c.delayed_frame_ratio, 0.0);
+    EXPECT_LE(c.delayed_frame_ratio, 1.0);
+    EXPECT_GE(c.stall_rate, 0.0);
+    EXPECT_LE(c.stall_rate, 1.0);
+    EXPECT_LE(c.frames_decoded, c.frames_sent);
+    EXPECT_EQ(c.fingerprint, eval_cell_fingerprint(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count independence
+// ---------------------------------------------------------------------------
+
+TEST(EvalMatrix, SerialAndFourThreadVerdictsAreBitIdentical) {
+  const auto cells = expand_eval_matrix(small_spec());
+  const auto serial = run_eval_matrix(cells, 1);
+  const auto threaded = run_eval_matrix(cells, 4);
+  ASSERT_EQ(serial.cells.size(), threaded.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].fingerprint, threaded.cells[i].fingerprint)
+        << serial.cells[i].name;
+    EXPECT_EQ(serial.cells[i].result_fingerprint,
+              threaded.cells[i].result_fingerprint)
+        << serial.cells[i].name;
+  }
+  EXPECT_EQ(serial.fingerprint, threaded.fingerprint);
+  // And the memoised suite result (2 threads) agrees too.
+  EXPECT_EQ(small_result().fingerprint, serial.fingerprint);
+}
+
+// ---------------------------------------------------------------------------
+// Report round-trips
+// ---------------------------------------------------------------------------
+
+TEST(EvalReport, JsonRoundTripsEveryField) {
+  const auto& res = small_result();
+  const std::string text = eval_report_to_json(res).dump(2);
+  std::string err;
+  const auto parsed = Json::parse(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  const auto back = eval_report_from_json(*parsed, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->fingerprint, res.fingerprint);
+  ASSERT_EQ(back->cells.size(), res.cells.size());
+  for (std::size_t i = 0; i < res.cells.size(); ++i) {
+    SCOPED_TRACE(res.cells[i].name);
+    const auto& a = res.cells[i];
+    const auto& b = back->cells[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.mechanism, b.mechanism);
+    EXPECT_EQ(a.cca, b.cca);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.density, b.density);
+    EXPECT_EQ(a.mechanism_active, b.mechanism_active);
+    ASSERT_EQ(a.frame_delay_cdf_ms.size(), b.frame_delay_cdf_ms.size());
+    for (std::size_t d = 0; d < a.frame_delay_cdf_ms.size(); ++d) {
+      EXPECT_EQ(a.frame_delay_cdf_ms[d], b.frame_delay_cdf_ms[d]);  // bitwise
+    }
+    EXPECT_EQ(a.frame_delay_p50_ms, b.frame_delay_p50_ms);
+    EXPECT_EQ(a.frame_delay_p95_ms, b.frame_delay_p95_ms);
+    EXPECT_EQ(a.frame_delay_p99_ms, b.frame_delay_p99_ms);
+    EXPECT_EQ(a.delayed_frame_ratio, b.delayed_frame_ratio);
+    EXPECT_EQ(a.stall_rate, b.stall_rate);
+    EXPECT_EQ(a.rtt_p50_ms, b.rtt_p50_ms);
+    EXPECT_EQ(a.rtt_p95_ms, b.rtt_p95_ms);
+    EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+    EXPECT_EQ(a.frames_sent, b.frames_sent);
+    EXPECT_EQ(a.frames_decoded, b.frames_decoded);
+    EXPECT_EQ(a.result_fingerprint, b.result_fingerprint);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    // The reconstructed cell still fingerprint-checks: corruption anywhere
+    // in serialisation would break this.
+    EXPECT_EQ(eval_cell_fingerprint(b), b.fingerprint);
+  }
+  ASSERT_EQ(back->headline.size(), res.headline.size());
+  for (std::size_t i = 0; i < res.headline.size(); ++i) {
+    EXPECT_EQ(back->headline[i].name, res.headline[i].name);
+    EXPECT_EQ(back->headline[i].zhuge_p95_ms, res.headline[i].zhuge_p95_ms);
+    EXPECT_EQ(back->headline[i].vanilla_p95_ms, res.headline[i].vanilla_p95_ms);
+    EXPECT_EQ(back->headline[i].zhuge_wins, res.headline[i].zhuge_wins);
+  }
+}
+
+TEST(EvalReport, CsvIsCompleteAndBitExact) {
+  const auto& res = small_result();
+  std::ostringstream out;
+  write_eval_report_csv(res, out);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // Header fixes the column layout; count its columns.
+  const auto columns = [](const std::string& s) {
+    std::size_t n = 1;
+    for (char ch : s) n += ch == ',' ? 1 : 0;
+    return n;
+  };
+  const std::size_t width = columns(line);
+  ASSERT_TRUE(line.rfind("cell,", 0) == 0) << line;
+  std::vector<std::string> rows;
+  while (std::getline(in, line)) {
+    if (!line.empty()) rows.push_back(line);
+  }
+  // One row per cell, every row rectangular.
+  ASSERT_EQ(rows.size(), res.cells.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(columns(rows[i]), width) << rows[i];
+    // Row order is grid order; the first field is the cell name.
+    EXPECT_EQ(rows[i].substr(0, rows[i].find(',')), res.cells[i].name);
+    // %.17g bit-exactness spot check: field 7 is frame_delay_p50_ms.
+    std::istringstream row(rows[i]);
+    std::string field;
+    for (int f = 0; f < 7; ++f) ASSERT_TRUE(std::getline(row, field, ','));
+    EXPECT_EQ(std::strtod(field.c_str(), nullptr),
+              res.cells[i].frame_delay_p50_ms)
+        << rows[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strict EvalSpec parsing: fixtures pin the exact line-numbered messages
+// ---------------------------------------------------------------------------
+
+struct EvalFixtureCase {
+  const char* file;
+  const char* expected_error;
+};
+
+// A typo'd axis value or key must fail loudly — the failure mode it guards
+// against is a silently shrunken matrix that still claims full coverage.
+const EvalFixtureCase kEvalFixtures[] = {
+    {"eval_bad_mechanism.json",
+     "line 6: mechanisms[] must be vanilla|zhuge|fastack|abc"},
+    {"eval_unknown_key.json", "line 4: eval: unknown key \"tracess\""},
+};
+
+TEST(EvalSpecFixtures, KnownBadSpecsFailWithPinnedMessages) {
+  for (const auto& fc : kEvalFixtures) {
+    SCOPED_TRACE(fc.file);
+    const std::string text =
+        read_file(std::string(ZHUGE_SPEC_FIXTURE_DIR) + "/" + fc.file);
+    ASSERT_FALSE(text.empty());
+    std::string err;
+    const auto spec = parse_eval_spec(text, &err);
+    EXPECT_FALSE(spec.has_value());
+    EXPECT_EQ(err, fc.expected_error);
+  }
+}
+
+TEST(EvalSpecFixtures, ShippedExampleSpecLoadsAndExpands) {
+  std::string err;
+  const auto spec = load_eval_spec(
+      std::string(ZHUGE_SPEC_DIR) + "/eval_w1_dense.json", &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const auto cells = expand_eval_matrix(*spec);
+  EXPECT_FALSE(cells.empty());
+  // The example narrows to W1 but keeps all mechanisms.
+  for (const auto& c : cells) EXPECT_EQ(c.trace, trace::TraceKind::kRestaurantWifi);
+  EXPECT_EQ(cells.size(), spec->mechanisms.size() * spec->ccas.size() *
+                              spec->densities.size());
+}
+
+}  // namespace
+}  // namespace zhuge::app

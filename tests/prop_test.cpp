@@ -5,7 +5,10 @@
 //  * SeqUnwrapper — round-trips arbitrary 16-bit walks whose true step
 //    stays within the +-32768 disambiguation window;
 //  * AckScheduler — never reorders held feedback under random hold deltas
-//    and random retreats.
+//    and random retreats;
+//  * synthetic ABW traces — seed-determinism, class rate envelopes, and
+//    rate_at() piecewise/sample-and-hold consistency (the eval matrix's
+//    trace axis leans on all three).
 
 #include <gtest/gtest.h>
 
@@ -19,6 +22,7 @@
 #include "net/seq.hpp"
 #include "prop.hpp"
 #include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
 
 namespace zhuge {
 namespace {
@@ -159,6 +163,96 @@ TEST(PropAckScheduler, NeverReordersUnderRandomHoldsAndRetreats) {
     // Release order must equal hold order — uids were issued 1..N.
     EXPECT_TRUE(std::is_sorted(released.begin(), released.end()))
         << "feedback reordered";
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic ABW traces (the eval matrix's W1/W2/C1-C3 axis)
+// ---------------------------------------------------------------------------
+
+constexpr trace::TraceKind kWirelessClasses[] = {
+    trace::TraceKind::kRestaurantWifi, trace::TraceKind::kOfficeWifi,
+    trace::TraceKind::kIndoorMixed45G, trace::TraceKind::kCity4G,
+    trace::TraceKind::kCity5G};
+
+TEST(PropSyntheticTrace, DeterministicInKindAndSeed) {
+  prop::for_all(prop::Config{.iterations = 40}, [](sim::Rng& rng, int) {
+    const auto kind = kWirelessClasses[rng.uniform_int(5)];
+    const auto seed = rng.uniform_int(1'000'000);
+    const auto dur = sim::Duration::from_seconds(rng.uniform(1.0, 20.0));
+    const trace::Trace a = trace::make_trace(kind, seed, dur);
+    const trace::Trace b = trace::make_trace(kind, seed, dur);
+    ASSERT_EQ(a.samples().size(), b.samples().size());
+    for (std::size_t i = 0; i < a.samples().size(); ++i) {
+      // Bitwise, not approximate: the eval fingerprints depend on it.
+      ASSERT_EQ(a.samples()[i].t, b.samples()[i].t) << "sample " << i;
+      ASSERT_EQ(a.samples()[i].rate_bps, b.samples()[i].rate_bps)
+          << "sample " << i;
+    }
+    // A different seed must produce a different trace (same length), or
+    // dense station groups would fade in lockstep.
+    const trace::Trace c = trace::make_trace(kind, seed + 1, dur);
+    ASSERT_EQ(a.samples().size(), c.samples().size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.samples().size(); ++i) {
+      any_diff = any_diff || a.samples()[i].rate_bps != c.samples()[i].rate_bps;
+    }
+    EXPECT_TRUE(any_diff) << trace::short_name(kind)
+                          << ": seed does not perturb the trace";
+  });
+}
+
+TEST(PropSyntheticTrace, RatesStayInsideClassEnvelope) {
+  prop::for_all(prop::Config{.iterations = 40}, [](sim::Rng& rng, int) {
+    const auto kind = kWirelessClasses[rng.uniform_int(5)];
+    const auto params = trace::params_for(kind);
+    const auto dur = sim::Duration::from_seconds(rng.uniform(5.0, 30.0));
+    const trace::Trace t =
+        trace::make_trace(kind, rng.uniform_int(1'000'000), dur);
+    ASSERT_FALSE(t.empty());
+    // Documented generator envelope: mean*floor_ratio .. mean*ceil_ratio.
+    const double lo = params.mean_bps * params.floor_ratio;
+    const double hi = params.mean_bps * params.ceil_ratio;
+    for (const auto& s : t.samples()) {
+      ASSERT_GE(s.rate_bps, lo) << trace::short_name(kind);
+      ASSERT_LE(s.rate_bps, hi) << trace::short_name(kind);
+    }
+    // The long-run mean should sit well inside the envelope: within 3x of
+    // the class mean either way (the AR(1) process is mean-reverting; the
+    // fades only pull downward).
+    EXPECT_LE(t.mean_rate_bps(), params.mean_bps * 3.0);
+    EXPECT_GE(t.mean_rate_bps(), params.mean_bps / 3.0);
+    // Uniform sample spacing at the documented step.
+    for (std::size_t i = 1; i < t.samples().size(); ++i) {
+      ASSERT_EQ(t.samples()[i].t - t.samples()[i - 1].t, params.step);
+    }
+  });
+}
+
+TEST(PropSyntheticTrace, RateAtMatchesSampleAndHold) {
+  prop::for_all(prop::Config{.iterations = 40}, [](sim::Rng& rng, int) {
+    const auto kind = kWirelessClasses[rng.uniform_int(5)];
+    const auto dur = sim::Duration::from_seconds(rng.uniform(2.0, 10.0));
+    const trace::Trace t =
+        trace::make_trace(kind, rng.uniform_int(1'000'000), dur);
+    ASSERT_GE(t.samples().size(), 2u);
+    const std::int64_t span_ns = t.span().count_ns();
+    ASSERT_GT(span_ns, 0);
+    for (int q = 0; q < 50; ++q) {
+      // Query up to 3 spans out so the loop path is exercised too.
+      const std::int64_t ns = static_cast<std::int64_t>(
+          rng.uniform(0.0, 3.0 * static_cast<double>(span_ns)));
+      const TimePoint at{ns};
+      // Reference: last sample at or before the wrapped instant.
+      const TimePoint wrapped{ns % span_ns};
+      double expect = t.samples().front().rate_bps;
+      for (const auto& s : t.samples()) {
+        if (s.t <= wrapped) expect = s.rate_bps;
+      }
+      ASSERT_EQ(t.rate_at(at), expect) << "query " << ns << " ns";
+      // Looping: one whole span later is bitwise the same rate.
+      ASSERT_EQ(t.rate_at(at), t.rate_at(TimePoint{ns + span_ns}));
+    }
   });
 }
 

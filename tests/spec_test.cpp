@@ -111,7 +111,7 @@ TEST(ScenarioSpecParse, RejectsStructuralErrors) {
       R"({"stations": [{}], "flows": [{"station": 5}]})",       // OOB station
       R"({"stations": [{}], "flows": [{"kind": "quic"}]})",     // bad kind
       R"({"stations": [{"qdisc": "red"}]})",                    // bad qdisc
-      R"({"stations": [{}], "ap_mode": "abc"})",                // bad mode
+      R"({"stations": [{}], "ap_mode": "turbo"})",              // bad mode
       R"({"stations": [{}], "duration_s": 0})",                 // bad duration
       R"({"stations": [{}], "warmup_s": 99})",                  // warmup >= dur
       R"({"stations": [{}], "churn": {"enabled": true,
